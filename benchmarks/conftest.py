@@ -1,0 +1,39 @@
+"""Benchmark-harness defaults.
+
+The full-fidelity windows (REPRO_SCALE=1.0) take ~25 min across all
+figures; the default bench scale of 0.4 keeps the whole harness under
+~10 min while preserving every qualitative shape.  Set REPRO_SCALE=1.0 to
+regenerate the numbers recorded in EXPERIMENTS.md.
+
+Simulation results are cached on disk (``.repro_cache``), so figures that
+share runs (10-16) simulate each configuration once.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+os.environ.setdefault("REPRO_SCALE", "0.4")
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_table(results_dir):
+    """Write a rendered table to benchmarks/results/<name>.txt and echo it."""
+    from repro.analysis.report import render
+
+    def _save(name, table):
+        text = render(table)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return text
+
+    return _save

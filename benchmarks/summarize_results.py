@@ -1,0 +1,24 @@
+"""Summarise benchmarks/results/*.txt: the suite-level rows EXPERIMENTS.md
+records.  Run after `pytest benchmarks/ --benchmark-only`:
+
+    python benchmarks/summarize_results.py
+"""
+from pathlib import Path
+R = Path(__file__).parent / "results"
+def grab(name, match):
+    for line in (R / name).read_text().splitlines():
+        if line.startswith(match):
+            print(f"{name}: {line}")
+for policy in ["Norm", "E-Norm+NC", "Slow+SC", "E-Slow+SC", "B-Mellow+SC",
+               "BE-Mellow+SC", "Norm+WQ", "B-Mellow+SC+WQ", "BE-Mellow+SC+WQ"]:
+    grab("fig10_policy_ipc.txt", f"GEOMEAN     {policy} ")
+print()
+for policy in ["Slow+SC", "E-Slow+SC", "B-Mellow+SC", "BE-Mellow+SC",
+               "E-Norm+NC", "Norm+WQ", "BE-Mellow+SC+WQ"]:
+    grab("fig11_policy_lifetime.txt", f"GEOMEAN     {policy} ")
+print()
+grab("fig17_expo_sensitivity.txt", "Slow+SC")
+grab("fig17_expo_sensitivity.txt", "BE-Mellow+SC")
+print()
+for line in (R / "headline_summary.txt").read_text().splitlines():
+    print("headline:", line)

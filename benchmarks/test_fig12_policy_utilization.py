@@ -1,0 +1,18 @@
+"""Figure 12: average bank utilization across write policies.
+
+Paper shape: every configuration using slow writes raises utilization.
+"""
+
+from repro.experiments.figures import fig12_policy_utilization
+
+
+def test_fig12_policy_utilization(benchmark, save_table):
+    table = benchmark.pedantic(
+        fig12_policy_utilization, rounds=1, iterations=1,
+    )
+    save_table("fig12_policy_utilization", table)
+
+    gm = {r[1]: r[2] for r in table.rows if r[0] == "MEAN"}
+    assert gm["Slow+SC"] > gm["Norm"]
+    assert gm["BE-Mellow+SC"] > gm["Norm"]
+    assert all(0.0 <= u <= 1.0 for _, _, u in table.rows)

@@ -1,0 +1,32 @@
+"""Figure 13: fraction of execution time spent in write drains.
+
+Paper shapes: globally slow writes (E-Slow+SC) drain the most;
+Bank-Aware Mellow Writes does not increase drains over Norm; Wear Quota
+configurations drain more than their quota-less counterparts but less
+than all-slow.
+"""
+
+from repro.experiments.figures import fig13_write_drain
+
+
+def gm_column(table):
+    return {r[1]: r[2] for r in table.rows if r[0] == "GEOMEAN"}
+
+
+def test_fig13_write_drain(benchmark, save_table):
+    table = benchmark.pedantic(fig13_write_drain, rounds=1, iterations=1)
+    save_table("fig13_write_drain", table)
+
+    per_workload = {}
+    for workload, policy, drain in table.rows:
+        if workload == "GEOMEAN":
+            continue
+        per_workload.setdefault(workload, {})[policy] = drain
+
+    for workload, drains in per_workload.items():
+        # B-Mellow only slows writes on otherwise-idle banks: it must not
+        # meaningfully increase drain pressure over Norm.
+        assert drains["B-Mellow+SC"] <= drains["Norm"] + 0.08, workload
+        # All-slow writes drain at least as much as the baseline.
+        assert drains["E-Slow+SC"] >= drains["Norm"] - 0.05, workload
+        assert all(0.0 <= d <= 1.0 for d in drains.values())

@@ -1,0 +1,31 @@
+"""Figure 14: memory requests sent from the LLC.
+
+Paper shapes: eager-enabled policies convert a large share of demand
+writebacks into eager writebacks, and the mis-prediction overhead (extra
+total writes) stays small (<= a few percent).
+"""
+
+from repro.experiments.figures import fig14_llc_requests
+
+
+def test_fig14_llc_requests(benchmark, save_table):
+    table = benchmark.pedantic(fig14_llc_requests, rounds=1, iterations=1)
+    save_table("fig14_llc_requests", table)
+
+    for workload, policy, reads, writebacks, eager, total in table.rows:
+        if workload == "GEOMEAN":
+            continue
+        if policy in ("Norm", "Slow+SC", "Norm+WQ", "B-Mellow+SC",
+                      "B-Mellow+SC+WQ"):
+            assert eager == 0.0, (workload, policy)
+        # Total LLC-side traffic should stay near Norm's: eager writes
+        # replace demand writebacks rather than adding to them.
+        assert total < 1.35, (workload, policy, total)
+
+    eager_share = [
+        (r[0], r[4]) for r in table.rows
+        if r[1] == "BE-Mellow+SC" and r[0] != "GEOMEAN"
+    ]
+    # At least some workloads hand a visible share of writes to the eager
+    # path (the paper reports ~half of all writes on average).
+    assert max(share for _, share in eager_share) > 0.05

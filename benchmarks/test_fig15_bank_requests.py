@@ -1,0 +1,26 @@
+"""Figure 15: requests issued to the memory banks.
+
+Paper shape: cancellation re-issues make +SC/+NC configurations issue
+substantially more bank-level requests than Norm; the increase traces to
+write cancellation rather than eager writebacks.
+"""
+
+from repro.experiments.figures import fig15_bank_requests
+
+
+def test_fig15_bank_requests(benchmark, save_table):
+    table = benchmark.pedantic(fig15_bank_requests, rounds=1, iterations=1)
+    save_table("fig15_bank_requests", table)
+
+    per = {}
+    for workload, policy, reads, writes, cancelled, total in table.rows:
+        if workload == "GEOMEAN":
+            continue
+        per.setdefault(workload, {})[policy] = (reads, writes, cancelled, total)
+
+    for workload, policies in per.items():
+        norm_total = policies["Norm"][3]
+        # Norm never cancels.
+        assert policies["Norm"][2] == 0.0
+        # Policies with cancellation issue at least as many requests.
+        assert policies["BE-Mellow+SC"][3] >= norm_total * 0.85, workload

@@ -1,0 +1,31 @@
+"""Figure 17: lifetime sensitivity to the endurance exponent.
+
+Paper shapes: both Slow+SC and BE-Mellow+SC gain lifetime as Expo_Factor
+rises, Slow+SC more steeply (BE-Mellow issues some normal writes whose
+wear is exponent-independent); even at a pessimistic Expo_Factor of 1.0
+BE-Mellow+SC keeps >= 1.47x of Norm's lifetime.
+"""
+
+from repro.experiments.figures import fig17_expo_sensitivity
+
+
+def test_fig17_expo_sensitivity(benchmark, save_table):
+    table = benchmark.pedantic(fig17_expo_sensitivity, rounds=1, iterations=1)
+    save_table("fig17_expo_sensitivity", table)
+
+    rows = {r[0]: r[1:] for r in table.rows}
+    slow = rows["Slow+SC"]
+    mellow = rows["BE-Mellow+SC"]
+    norm = rows["Norm"]
+
+    assert all(abs(v - 1.0) < 1e-9 for v in norm)
+    # Monotone gain with the exponent.
+    assert list(slow) == sorted(slow)
+    assert list(mellow) == sorted(mellow)
+    # Slow+SC's relative gain grows faster from expo 2.0 to 3.0.
+    slow_growth = slow[-1] / slow[2]
+    mellow_growth = mellow[-1] / mellow[2]
+    assert slow_growth > mellow_growth
+    # Mellow Writes still helps under the pessimistic linear model
+    # (paper: 1.47x at Expo_Factor 1.0).
+    assert mellow[0] > 1.1

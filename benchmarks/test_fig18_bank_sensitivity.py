@@ -1,0 +1,38 @@
+"""Figure 18: GemsFDTD sensitivity to bank-level parallelism.
+
+Paper shapes: with fewer banks (a) the lifetime gap between Norm and
+BE-Mellow+SC shrinks, (b) per-bank utilization rises, (c) eager writes
+collapse, (d) more writes issue at normal speed.
+"""
+
+from repro.experiments.figures import fig18_bank_sensitivity
+
+
+def test_fig18_bank_sensitivity(benchmark, save_table):
+    table = benchmark.pedantic(fig18_bank_sensitivity, rounds=1, iterations=1)
+    save_table("fig18_bank_sensitivity", table)
+
+    by_key = {(r[0], r[1]): r for r in table.rows}
+
+    def gain(banks):
+        norm = by_key[(banks, "Norm")][2]
+        mellow = by_key[(banks, "BE-Mellow+SC")][2]
+        return mellow / norm
+
+    # (a) Mellow Writes' lifetime advantage shrinks as banks shrink.
+    assert gain(16) > gain(4)
+
+    # (b) fewer banks -> higher utilization (Norm column).
+    assert by_key[(4, "Norm")][3] > by_key[(16, "Norm")][3]
+
+    # (c) eager writes collapse with fewer banks.
+    eager16 = by_key[(16, "BE-Mellow+SC")][4]
+    eager4 = by_key[(4, "BE-Mellow+SC")][4]
+    assert eager4 < eager16
+
+    # (d) normal-speed issues rise as bank-level parallelism disappears
+    # (compare shares, since absolute counts shift with throughput).
+    def normal_share(banks):
+        row = by_key[(banks, "BE-Mellow+SC")]
+        return row[5] / max(1, row[5] + row[6])
+    assert normal_share(4) >= normal_share(16)

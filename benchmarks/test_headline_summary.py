@@ -1,0 +1,29 @@
+"""The paper's abstract-level claims, asserted as reproduction targets."""
+
+from repro.experiments.headline import headline_summary
+
+
+def test_headline_summary(benchmark, save_table):
+    table = benchmark.pedantic(headline_summary, rounds=1, iterations=1)
+    save_table("headline_summary", table)
+
+    rows = {r[0]: r for r in table.rows}
+
+    # "2.58x lifetime and 1.06x performance of the baseline system"
+    be = rows["BE-Mellow+SC"]
+    assert 0.95 <= be[1] <= 1.25, f"BE-Mellow+SC ipc ratio {be[1]}"
+    assert be[2] >= 1.5, f"BE-Mellow+SC lifetime ratio {be[2]}"
+
+    # E-Slow+SC pays for its lifetime with performance.
+    e_slow = rows["E-Slow+SC"]
+    assert e_slow[1] < be[1]
+
+    # E-Norm+NC: "an unacceptably short lifetime".
+    assert rows["E-Norm+NC"][2] < 1.0
+
+    # Wear Quota floor: the +WQ minimum lifetime clears most of the
+    # 8-year target even in truncated windows.
+    assert rows["BE-Mellow+SC+WQ"][3] >= 8.0 * 0.55
+
+    # BE-Mellow+SC+WQ is the fastest quota-guaranteed configuration.
+    assert rows["BE-Mellow+SC+WQ"][1] >= rows["Norm+WQ"][1]

@@ -1,0 +1,21 @@
+"""Error bars for the reproduction: the headline holds across trace seeds."""
+
+from repro.experiments.seeds import seed_stability
+
+
+def test_seed_stability(benchmark, save_table):
+    table = benchmark.pedantic(seed_stability, rounds=1, iterations=1)
+    save_table("seed_stability", table)
+
+    for workload, ipc_mean, ipc_cv, life_mean, life_cv, _ in table.rows:
+        # BE-Mellow+SC never collapses performance, at any seed.
+        assert ipc_mean > 0.85, (workload, ipc_mean)
+        # Lifetime direction: within noise of >= Norm everywhere, and
+        # clearly above on the suite at large.
+        assert life_mean > 0.75, (workload, life_mean)
+        # Trace randomness does not dominate the measurement.
+        assert ipc_cv < 0.15, (workload, ipc_cv)
+        assert life_cv < 0.60, (workload, life_cv)
+
+    lifetime_means = [r[3] for r in table.rows]
+    assert max(lifetime_means) > 1.5   # the gain is real on heavy workloads

@@ -1,0 +1,19 @@
+"""Table IV: measured LLC MPKI of the synthetic workloads vs the paper."""
+
+from repro.experiments.figures import tab04_workload_mpki
+
+
+def test_tab04_workload_mpki(benchmark, save_table):
+    table = benchmark.pedantic(tab04_workload_mpki, rounds=1, iterations=1)
+    save_table("tab04_workload_mpki", table)
+
+    for workload, measured, paper in table.rows:
+        # Synthetic profiles target the published MPKI; hold a loose band
+        # (the exact value shifts with the scaled warmup windows).
+        assert measured == paper or 0.55 * paper < measured < 1.8 * paper, (
+            f"{workload}: measured {measured:.2f} vs paper {paper}"
+        )
+    # The relative ordering of the extremes must hold.
+    mpki = {r[0]: r[1] for r in table.rows}
+    if {"mcf", "hmmer"} <= mpki.keys():
+        assert mpki["mcf"] > mpki["hmmer"] * 5

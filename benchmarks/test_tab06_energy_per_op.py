@@ -1,0 +1,24 @@
+"""Tables V/VI: per-operation energy of the memristive main memory."""
+
+from repro.experiments.figures import tab06_energy_per_op
+
+# The published Table VI rows.
+PAPER = {
+    "CellA": (248.8, 314.5, 1.26),
+    "CellB": (300.0, 432.3, 1.44),
+    "CellC": (402.4, 667.8, 1.66),
+    "CellD": (607.2, 1138.8, 1.88),
+    "CellE": (1016.8, 2080.9, 2.05),
+}
+
+
+def test_tab06_energy_per_op(benchmark, save_table):
+    table = benchmark.pedantic(tab06_energy_per_op, rounds=1, iterations=1)
+    save_table("tab06_energy_per_op", table)
+
+    for cell, buffer_read, norm, slow, ratio in table.rows:
+        p_norm, p_slow, p_ratio = PAPER[cell]
+        assert buffer_read == 1503.0
+        assert abs(norm - p_norm) / p_norm < 0.01
+        assert abs(slow - p_slow) / p_slow < 0.01
+        assert abs(ratio - p_ratio) < 0.01

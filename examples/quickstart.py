@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload under two write policies.
+
+Runs the lbm workload (the suite's write monster) under the baseline
+``Norm`` policy and under the paper's best scheme ``BE-Mellow+SC+WQ``, and
+prints the performance/lifetime trade-off the paper is about.
+
+Usage:
+    python examples/quickstart.py [workload]
+"""
+
+import os
+import sys
+
+from repro import SimConfig, run_simulation
+
+
+_SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def make_config(**kwargs):
+    """A SimConfig honouring REPRO_SCALE (set it <1 for quick runs)."""
+    config = SimConfig(**kwargs)
+    if _SCALE != 1.0:
+        config = config.scaled(_SCALE)
+    return config
+
+
+
+def describe(result):
+    print(f"  IPC:               {result.ipc:.3f}")
+    print(f"  lifetime:          {result.lifetime_years:.2f} years")
+    print(f"  bank utilization:  {result.bank_utilization:.1%}")
+    print(f"  write-drain time:  {result.drain_fraction:.1%}")
+    print(f"  writes (normal):   {result.writes_issued_normal}")
+    print(f"  writes (slow):     {result.writes_issued_slow}")
+    print(f"  eager writebacks:  {result.eager_writebacks}")
+    print(f"  cancellations:     {result.cancellations}")
+    print(f"  memory energy:     {result.total_energy_pj / 1e6:.2f} uJ")
+
+
+def main():
+    workload = sys.argv[1] if len(sys.argv) > 1 else "lbm"
+    print(f"workload: {workload}\n")
+
+    baseline = run_simulation(make_config(workload=workload, policy="Norm"))
+    print("Norm (baseline, all writes at 150 ns):")
+    describe(baseline)
+
+    mellow = run_simulation(
+        make_config(workload=workload, policy="BE-Mellow+SC+WQ")
+    )
+    print("\nBE-Mellow+SC+WQ (Bank-Aware + Eager Mellow Writes, slow writes"
+          " cancellable, 8-year Wear Quota):")
+    describe(mellow)
+
+    print("\nMellow Writes vs baseline: "
+          f"{mellow.ipc / baseline.ipc:.2f}x IPC, "
+          f"{mellow.lifetime_years / baseline.lifetime_years:.2f}x lifetime")
+
+
+if __name__ == "__main__":
+    main()

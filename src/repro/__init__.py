@@ -1,0 +1,52 @@
+"""Mellow Writes (ISCA 2016) reproduction.
+
+A trace-driven resistive-main-memory simulator implementing the paper's
+three mechanisms - Bank-Aware Mellow Writes, Eager Mellow Writes and Wear
+Quota - on top of an NVMain-like memory-controller substrate, with the
+analytic endurance model, Start-Gap wear leveling, synthetic SPEC-like
+workloads, and an energy model.
+
+Quickstart::
+
+    from repro import SimConfig, run_simulation
+
+    result = run_simulation(SimConfig(workload="lbm", policy="BE-Mellow+SC"))
+    print(result.ipc, result.lifetime_years)
+"""
+
+from repro.core.policies import (
+    PAPER_POLICY_NAMES,
+    WritePolicy,
+    paper_policies,
+    parse_policy,
+)
+from repro.endurance.model import EnduranceModel
+from repro.endurance.startgap import StartGap
+from repro.endurance.wear import WearTracker
+from repro.sim.config import SimConfig
+from repro.sim.stats import RunResult
+from repro.sim.system import System, run_simulation
+from repro.workloads.mix import MIXES, WorkloadMix, get_mix
+from repro.workloads.profiles import PROFILES, WORKLOAD_NAMES, get_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EnduranceModel",
+    "MIXES",
+    "WorkloadMix",
+    "get_mix",
+    "PAPER_POLICY_NAMES",
+    "PROFILES",
+    "RunResult",
+    "SimConfig",
+    "StartGap",
+    "System",
+    "WORKLOAD_NAMES",
+    "WearTracker",
+    "WritePolicy",
+    "get_profile",
+    "paper_policies",
+    "parse_policy",
+    "run_simulation",
+]

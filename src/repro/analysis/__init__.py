@@ -1,0 +1,2 @@
+"""Post-processing: lifetime re-evaluation, table rendering, CSV/JSON
+export, terminal charts, and analytic result validation."""

@@ -1,0 +1,73 @@
+"""Terminal bar charts for examples and quick-look analysis.
+
+No plotting dependency is available offline, so the examples render
+figure-style comparisons as unicode bars.  Values are scaled to the
+longest bar; an optional reference line (e.g. the 8-year lifetime floor)
+is marked on each bar.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+_FULL = "#"
+_REFERENCE = "|"
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 50,
+    reference: Optional[float] = None,
+    reference_label: str = "",
+    unit: str = "",
+) -> str:
+    """Render labelled horizontal bars.
+
+    Args:
+        items: (label, value) pairs, drawn in order.
+        width: character budget for the longest bar.
+        reference: draw a vertical marker at this value on every row.
+        reference_label: legend text for the reference marker.
+        unit: appended to the numeric value of each row.
+    """
+    if not items:
+        raise ValueError("nothing to chart")
+    if width < 4:
+        raise ValueError("width must be >= 4")
+    values = [value for _, value in items]
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be non-negative")
+    peak = max(values + ([reference] if reference else []))
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label, _ in items)
+    lines: List[str] = []
+    for label, value in items:
+        filled = round(value / peak * width)
+        bar = list(_FULL * filled + " " * (width - filled))
+        if reference is not None:
+            position = min(width - 1, round(reference / peak * width))
+            bar[position] = _REFERENCE
+        lines.append(
+            f"{label.ljust(label_width)}  {''.join(bar)}  "
+            f"{value:,.2f}{unit}"
+        )
+    if reference is not None and reference_label:
+        lines.append(f"{' ' * label_width}  ({_REFERENCE} = {reference_label})")
+    return "\n".join(lines)
+
+
+def comparison_chart(
+    groups: Iterable[Tuple[str, Sequence[Tuple[str, float]]]],
+    width: int = 40,
+    reference: Optional[float] = None,
+    unit: str = "",
+) -> str:
+    """Several titled bar charts stacked with blank separators."""
+    sections = []
+    for title, items in groups:
+        sections.append(title)
+        sections.append(bar_chart(items, width=width, reference=reference,
+                                  unit=unit))
+        sections.append("")
+    return "\n".join(sections).rstrip()

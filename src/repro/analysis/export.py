@@ -1,0 +1,51 @@
+"""Export rendered tables as CSV/JSON for external plotting."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.analysis.report import Table
+
+PathLike = Union[str, Path]
+
+
+def table_to_csv(table: Table) -> str:
+    """Serialise a :class:`Table` to CSV text (header + rows)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(table.columns)
+    for row in table.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def table_to_json(table: Table) -> str:
+    """Serialise a :class:`Table` to a JSON document.
+
+    Layout: ``{"title", "columns", "rows": [ {col: value} ], "notes"}`` -
+    row dicts rather than arrays so downstream pandas/vega loading is a
+    one-liner.
+    """
+    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    return json.dumps({
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": rows,
+        "notes": list(table.notes),
+    }, indent=2, default=str)
+
+
+def write_table(table: Table, path: PathLike) -> Path:
+    """Write a table to ``path``; format chosen by suffix (.csv/.json)."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        path.write_text(table_to_csv(table))
+    elif path.suffix == ".json":
+        path.write_text(table_to_json(table))
+    else:
+        raise ValueError(f"unsupported export format: {path.suffix!r}")
+    return path

@@ -1,0 +1,79 @@
+"""Lifetime post-processing utilities.
+
+The central trick (used for Figure 17): a run's timing never depends on the
+endurance exponent, so one simulation per (workload, policy) provides the
+lifetime under *every* Expo_Factor via the recorded per-bank write mix.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+from repro import params
+from repro.sim.stats import RunResult
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; values are floored at a tiny epsilon for safety."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    return math.exp(sum(math.log(max(v, 1e-12)) for v in values) / len(values))
+
+
+def capped(lifetime_years: float, cap: float = 1e4) -> float:
+    """Clamp infinite/huge lifetimes so ratios stay meaningful."""
+    return min(lifetime_years, cap)
+
+
+def lifetime_sweep(result: RunResult,
+                   expo_factors: Sequence[float] = params.EXPO_FACTORS,
+                   ) -> Dict[float, float]:
+    """Lifetime (years) of one run under each endurance exponent."""
+    return {expo: result.lifetime_for_expo(expo) for expo in expo_factors}
+
+
+def relative_lifetimes(results: Dict[str, RunResult],
+                       baseline: str = "Norm") -> Dict[str, float]:
+    """Per-policy lifetime normalised to the baseline policy."""
+    base = capped(results[baseline].lifetime_years)
+    return {
+        name: capped(result.lifetime_years) / base
+        for name, result in results.items()
+    }
+
+
+def relative_ipcs(results: Dict[str, RunResult],
+                  baseline: str = "Norm") -> Dict[str, float]:
+    """Per-policy IPC normalised to the baseline policy."""
+    base = results[baseline].ipc
+    return {name: result.ipc / base for name, result in results.items()}
+
+
+def meets_lifetime_target(result: RunResult,
+                          target_years: float = params.TARGET_LIFETIME_YEARS,
+                          tolerance: float = 0.25) -> bool:
+    """Whether a run satisfies the lifetime guarantee.
+
+    Wear Quota gates only at sample-period boundaries, so a short
+    measurement window can end while a post-burst catch-up is still in
+    progress; the paper's guarantee is asymptotic.  ``tolerance`` allows
+    for that truncation (25% by default).
+    """
+    return result.lifetime_years >= target_years * (1.0 - tolerance)
+
+
+def best_static_policy(results: Dict[str, RunResult],
+                       target_years: float = params.TARGET_LIFETIME_YEARS,
+                       ) -> str:
+    """Figure 19's red diamond: the static policy with the highest IPC among
+    those that reach the lifetime target; falls back to the longest-lived
+    policy when none qualifies."""
+    qualifying = {
+        name: r for name, r in results.items()
+        if r.lifetime_years >= target_years
+    }
+    if qualifying:
+        return max(qualifying, key=lambda name: qualifying[name].ipc)
+    return max(results, key=lambda name: results[name].lifetime_years)

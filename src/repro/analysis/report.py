@@ -1,0 +1,57 @@
+"""Plain-text table formatting for the benchmark harness.
+
+Every figure/table regenerator returns a :class:`Table`; ``render`` prints
+it in the aligned layout the bench output files record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+
+@dataclass
+class Table:
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[Any]:
+        index = list(self.columns).index(name)
+        return [row[index] for row in self.rows]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render(table: Table) -> str:
+    """Render a table as aligned monospace text."""
+    header = [str(c) for c in table.columns]
+    body = [[_format_cell(v) for v in row] for row in table.rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [f"== {table.title} =="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    for note in table.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

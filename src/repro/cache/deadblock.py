@@ -1,0 +1,84 @@
+"""Age-based dead-block prediction for Eager Mellow Writes.
+
+The paper's future work (Section VII "Cache Management") suggests dead
+block prediction [Lai et al., Liu et al.] as a sharper way to pick eager
+writeback candidates than the LRU-position profile.  Trace-driven
+simulation has no program counters, so we implement the *decay* family of
+predictors: a line is predicted dead once it has gone unused for longer
+than almost any observed reuse.
+
+Mechanism: per set, count accesses; every line remembers the count at its
+last touch, so ``age = set_accesses - last_touch``.  Reuse ages observed on
+hits feed a log2-bucketed histogram; at every sample period the predictor
+picks the smallest age threshold such that fewer than ``tail_ratio`` of
+reuses happened beyond it (the same 1/32 tail-budget style as the paper's
+LRU profiler).  Lines older than the threshold are dead candidates.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class DeadBlockPredictor:
+    MAX_BUCKET = 24   # ages up to 2^24 set-accesses
+
+    def __init__(self, tail_ratio: float = 1.0 / 32.0,
+                 horizon: float = float("inf")) -> None:
+        if not 0 < tail_ratio < 1:
+            raise ValueError("tail_ratio must be in (0, 1)")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.tail_ratio = tail_ratio
+        # Ages beyond the horizon exceed what the cache can retain anyway
+        # (an N-way LRU set evicts anything ~N distinct accesses old), so
+        # the trained threshold is capped there; otherwise heavy-tailed
+        # reuse histograms push the threshold past the eviction age and
+        # the predictor never fires.
+        self.horizon = horizon
+        self.buckets: List[int] = [0] * (self.MAX_BUCKET + 1)
+        self.total_reuses = 0
+        # Until trained, nothing is predicted dead.
+        self.age_threshold: float = float("inf")
+        self.samples_taken = 0
+
+    @staticmethod
+    def _bucket_of(age: int) -> int:
+        bucket = max(0, age).bit_length()
+        return min(bucket, DeadBlockPredictor.MAX_BUCKET)
+
+    def record_reuse(self, age: int) -> None:
+        """Observe a hit that arrived ``age`` set-accesses after last touch."""
+        if age < 0:
+            raise ValueError("age cannot be negative")
+        self.buckets[self._bucket_of(age)] += 1
+        self.total_reuses += 1
+
+    def compute_threshold(self) -> float:
+        """Smallest age with < tail_ratio of reuses beyond it."""
+        if self.total_reuses == 0:
+            return float("inf")
+        budget = self.tail_ratio * self.total_reuses
+        tail = 0
+        threshold = float("inf")
+        for bucket in range(self.MAX_BUCKET, -1, -1):
+            tail += self.buckets[bucket]
+            if tail < budget:
+                # Everything at or above this bucket's lower bound is in
+                # the rarely-reused tail.
+                threshold = float(2 ** max(0, bucket - 1))
+            else:
+                break
+        return min(threshold, self.horizon)
+
+    def end_sample_period(self) -> float:
+        """Publish a fresh threshold and restart the histogram."""
+        self.age_threshold = self.compute_threshold()
+        self.buckets = [0] * (self.MAX_BUCKET + 1)
+        self.total_reuses = 0
+        self.samples_taken += 1
+        return self.age_threshold
+
+    def is_dead(self, age: int) -> bool:
+        """Whether a line untouched for ``age`` set-accesses looks dead."""
+        return age > self.age_threshold

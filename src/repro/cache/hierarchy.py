@@ -1,0 +1,115 @@
+"""Upper cache levels (Table I): L1D and L2 as a trace filter.
+
+The package's synthetic profiles already emit post-L2 (LLC-level) streams,
+which is what keeps simulation fast.  Users with *raw* (L1-level) traces -
+gem5 dumps, pin traces - instead feed them through this filter, which
+simulates the paper's Table I upper hierarchy:
+
+* L1D: 32 KB, 4-way, write-back/write-allocate;
+* L2: 256 KB, 8-way, write-back/write-allocate, inclusive of nothing
+  (plain hierarchy; each level filters the one below).
+
+``filter_trace`` consumes L1-level :class:`TraceRecord`s and yields the
+post-L2 stream: L2 misses (demand fills) and dirty L2 evictions
+(writebacks), with instruction gaps re-accumulated so the downstream
+core model sees correct instruction counts.  Dependence flags survive on
+the misses of dependent loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro import params
+from repro.cache.lru import LRUCache
+from repro.cpu.trace import TraceRecord
+
+
+@dataclass
+class HierarchyStats:
+    l1_accesses: int = 0
+    l1_hits: int = 0
+    l2_accesses: int = 0
+    l2_hits: int = 0
+    llc_level_accesses: int = 0
+    writebacks_emitted: int = 0
+
+    @property
+    def l1_hit_ratio(self) -> float:
+        return self.l1_hits / self.l1_accesses if self.l1_accesses else 0.0
+
+    @property
+    def l2_hit_ratio(self) -> float:
+        return self.l2_hits / self.l2_accesses if self.l2_accesses else 0.0
+
+
+class TwoLevelFilter:
+    """L1D + L2 filter producing the post-L2 access stream."""
+
+    def __init__(
+        self,
+        l1_size_bytes: int = 32 * 1024,
+        l1_assoc: int = 4,
+        l2_size_bytes: int = 256 * 1024,
+        l2_assoc: int = 8,
+        line_bytes: int = params.CACHELINE_BYTES,
+    ) -> None:
+        self.l1 = LRUCache.from_geometry(l1_size_bytes, l1_assoc, line_bytes)
+        self.l2 = LRUCache.from_geometry(l2_size_bytes, l2_assoc, line_bytes)
+        self.stats = HierarchyStats()
+
+    def _access_l2(self, block: int, is_write: bool,
+                   dependent: bool, gap: int):
+        """Access L2; yields the post-L2 records this access causes."""
+        self.stats.l2_accesses += 1
+        result = self.l2.access(block, is_write)
+        if result.hit:
+            self.stats.l2_hits += 1
+            return
+        # L2 miss: a dirty L2 victim becomes a writeback below, and the
+        # fill itself goes below as a read-or-write demand access.
+        if result.victim is not None and result.victim.dirty:
+            victim_block = self.l2.block_of(
+                self.l2.set_index(block), result.victim.tag,
+            )
+            self.stats.writebacks_emitted += 1
+            self.stats.llc_level_accesses += 1
+            yield TraceRecord(0, victim_block, True, False)
+        self.stats.llc_level_accesses += 1
+        yield TraceRecord(gap, block, is_write, dependent and not is_write)
+
+    def filter_trace(
+        self, records: Iterable[TraceRecord],
+    ) -> Iterator[TraceRecord]:
+        """Yield the post-L2 stream for an L1-level input stream.
+
+        Instruction gaps of filtered (hitting) accesses accumulate and are
+        attached to the *first* record of the next emitted burst, so the
+        downstream core retires the same instruction total.
+        """
+        pending_gap = 0
+        for record in records:
+            pending_gap += record.gap_insts
+            self.stats.l1_accesses += 1
+            l1_result = self.l1.access(record.block, record.is_write)
+            if l1_result.hit:
+                self.stats.l1_hits += 1
+                continue
+            burst = []
+            # L1 miss: dirty L1 victim is written back into L2.
+            if l1_result.victim is not None and l1_result.victim.dirty:
+                victim_block = self.l1.block_of(
+                    self.l1.set_index(record.block), l1_result.victim.tag,
+                )
+                burst.extend(self._access_l2(victim_block, True, False, 0))
+            burst.extend(self._access_l2(record.block, record.is_write,
+                                         record.dependent, 0))
+            if not burst:
+                continue
+            first = burst[0]
+            yield TraceRecord(pending_gap, first.block, first.is_write,
+                              first.dependent)
+            pending_gap = 0
+            for out in burst[1:]:
+                yield out

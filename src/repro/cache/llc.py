@@ -1,0 +1,140 @@
+"""The last-level cache with Eager Mellow Writes hooks (Section IV-B).
+
+The LLC is a 2 MB / 16-way LRU cache.  On top of plain demand behaviour it
+
+* feeds every access into the :class:`StackProfiler`;
+* on request (``pick_eager_candidate``) samples a random set and returns the
+  least-recently-used *dirty* line whose stack position falls in the
+  currently-useless region, to be sent to the Eager Mellow Queue;
+* tracks wasted eager writebacks (a line that is dirtied again after an
+  eager writeback wasted that write).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import params
+from repro.cache.deadblock import DeadBlockPredictor
+from repro.cache.lru import AccessResult, LRUCache
+from repro.cache.profiler import StackProfiler
+
+STACK_SELECTOR = "stack"
+DEADBLOCK_SELECTOR = "deadblock"
+
+
+@dataclass
+class LLCStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0          # dirty demand evictions sent to memory
+    eager_writebacks: int = 0    # lines handed to the eager queue
+    wasted_eager: int = 0        # eager-cleaned lines dirtied again
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.__init__()
+
+
+class LastLevelCache:
+    """2 MB, 16-way LLC with eager-mellow candidate selection."""
+
+    def __init__(
+        self,
+        size_bytes: int = params.LLC_SIZE_BYTES,
+        assoc: int = params.LLC_ASSOC,
+        line_bytes: int = params.CACHELINE_BYTES,
+        threshold_ratio: float = params.USELESS_THRESHOLD_RATIO,
+        sample_period_ns: float = params.PROFILE_PERIOD_NS,
+        rng: Optional[random.Random] = None,
+        eager_selector: str = STACK_SELECTOR,
+    ) -> None:
+        if eager_selector not in (STACK_SELECTOR, DEADBLOCK_SELECTOR):
+            raise ValueError(f"unknown eager selector {eager_selector!r}")
+        self.cache = LRUCache.from_geometry(size_bytes, assoc, line_bytes)
+        self.profiler = StackProfiler(
+            assoc, threshold_ratio, sample_period_ns,
+        )
+        self.eager_selector = eager_selector
+        self.deadblock = DeadBlockPredictor(
+            tail_ratio=threshold_ratio, horizon=float(assoc),
+        )
+        self.rng = rng if rng is not None else random.Random(0)
+        self.stats = LLCStats()
+
+    def access(self, block: int, is_write: bool) -> AccessResult:
+        """Demand access; updates the profiler and writeback stats."""
+        result = self.cache.access(block, is_write)
+        self.stats.accesses += 1
+        if result.hit:
+            self.stats.hits += 1
+            self.profiler.record_hit(result.stack_position)
+            if result.reuse_age is not None:
+                self.deadblock.record_reuse(result.reuse_age)
+            if result.rewrote_eager_clean:
+                self.stats.wasted_eager += 1
+        else:
+            self.stats.misses += 1
+            self.profiler.record_miss()
+            if result.victim is not None and result.victim.dirty:
+                self.stats.writebacks += 1
+        return result
+
+    def pick_eager_candidate(self) -> Optional[int]:
+        """Sample one random set; return a useless dirty block, or None.
+
+        The chosen line is marked clean (but stays resident).  With the
+        default stack selector, useless means "at or beyond the profiled
+        eager LRU position", and among candidates the least-recently-used
+        line is preferred (Section IV-B1).  With the dead-block selector
+        (future-work extension), useless means "untouched for longer than
+        almost any observed reuse".
+        """
+        set_index = self.rng.randrange(self.cache.num_sets)
+        if self.eager_selector == STACK_SELECTOR:
+            line = self._pick_by_stack_position(set_index)
+        else:
+            line = self._pick_by_deadblock(set_index)
+        if line is None:
+            return None
+        line.dirty = False
+        line.eager_cleaned = True
+        self.stats.eager_writebacks += 1
+        return self.cache.block_of(set_index, line.tag)
+
+    def _pick_by_stack_position(self, set_index: int):
+        eager_position = self.profiler.eager_position
+        if eager_position >= self.cache.assoc:
+            return None   # nothing is currently classified useless
+        candidates = [
+            line
+            for position, line in self.cache.dirty_lines_in_set(set_index)
+            if position >= eager_position
+        ]
+        # Highest stack position = LRU-most = least likely to be reused.
+        return candidates[-1] if candidates else None
+
+    def _pick_by_deadblock(self, set_index: int):
+        dead = [
+            line
+            for _position, line in self.cache.dirty_lines_in_set(set_index)
+            if self.deadblock.is_dead(self.cache.line_age(set_index, line))
+        ]
+        if not dead:
+            return None
+        # Oldest first: it has been dead the longest.
+        return max(dead, key=lambda l: self.cache.line_age(set_index, l))
+
+    def end_sample_period(self) -> int:
+        """Close the profiling period (called every T_sample)."""
+        self.deadblock.end_sample_period()
+        return self.profiler.end_sample_period()
+
+    def reset_statistics(self) -> None:
+        self.stats.reset()

@@ -1,0 +1,87 @@
+"""LRU-stack-position profiler for Eager Mellow Writes (Section IV-B1).
+
+One hit counter per LRU stack position (shared across all sets) plus a
+single miss counter.  Every ``t_sample`` the profiler computes the *eager
+position*: the smallest stack position p such that positions p..assoc-1
+together received less than ``threshold_ratio`` of all requests.  Lines at
+or beyond the eager position are considered useless until the next sample
+and may be eagerly written back.  Counters then reset.
+
+Storage cost is the paper's 360 bits: (assoc + 1 + 1) counters of
+ceil(log2(T_sample / T_clk)) bits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro import params
+
+
+class StackProfiler:
+    def __init__(
+        self,
+        assoc: int,
+        threshold_ratio: float = params.USELESS_THRESHOLD_RATIO,
+        sample_period_ns: float = params.PROFILE_PERIOD_NS,
+    ) -> None:
+        if assoc < 1:
+            raise ValueError("assoc must be >= 1")
+        if not 0 < threshold_ratio < 1:
+            raise ValueError("threshold_ratio must be in (0, 1)")
+        self.assoc = assoc
+        self.threshold_ratio = threshold_ratio
+        self.sample_period_ns = sample_period_ns
+        self.hit_counters: List[int] = [0] * assoc
+        self.miss_counter = 0
+        # Until the first sample completes nothing is considered useless.
+        self.eager_position = assoc
+        self.samples_taken = 0
+
+    def record_hit(self, stack_position: int) -> None:
+        self.hit_counters[stack_position] += 1
+
+    def record_miss(self) -> None:
+        self.miss_counter += 1
+
+    @property
+    def total_requests(self) -> int:
+        return sum(self.hit_counters) + self.miss_counter
+
+    def compute_eager_position(self) -> int:
+        """Smallest p whose tail-hit mass is below the threshold ratio."""
+        total = self.total_requests
+        if total == 0:
+            return self.assoc
+        budget = self.threshold_ratio * total
+        tail = 0
+        position = self.assoc
+        # Walk from the LRU end toward MRU while the tail stays under budget.
+        for p in range(self.assoc - 1, -1, -1):
+            tail += self.hit_counters[p]
+            if tail < budget:
+                position = p
+            else:
+                break
+        return position
+
+    def end_sample_period(self) -> int:
+        """Close the period: publish the new eager position, reset counters."""
+        self.eager_position = self.compute_eager_position()
+        self.hit_counters = [0] * self.assoc
+        self.miss_counter = 0
+        self.samples_taken += 1
+        return self.eager_position
+
+    def is_useless_position(self, stack_position: int) -> bool:
+        """Whether a stack position is currently in the useless region."""
+        return stack_position >= self.eager_position
+
+    @property
+    def storage_bits(self) -> int:
+        """Hardware storage cost of the profiler (Section IV-E)."""
+        counter_bits = math.ceil(
+            math.log2(self.sample_period_ns / params.CPU_CLK_NS)
+        )
+        return counter_bits * (self.assoc + 2)

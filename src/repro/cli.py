@@ -1,0 +1,263 @@
+"""Command-line interface for the Mellow Writes simulator.
+
+Examples::
+
+    python -m repro run --workload lbm --policy BE-Mellow+SC+WQ
+    python -m repro sweep --workloads lbm,stream --policies Norm,Slow+SC
+    python -m repro figure fig11
+    python -m repro ablation abl_flip_n_write
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import params
+from repro.analysis.report import Table, render
+from repro.core.policies import PAPER_POLICY_NAMES, parse_policy
+from repro.experiments.ablations import ALL_ABLATIONS
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.runner import Runner
+from repro.sim.config import SimConfig
+from repro.workloads.profiles import PROFILES, WORKLOAD_NAMES
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", required=True, choices=WORKLOAD_NAMES)
+    parser.add_argument("--policy", default="Norm",
+                        help="Table III policy name, e.g. BE-Mellow+SC+WQ")
+    parser.add_argument("--slow-factor", type=float,
+                        default=params.SLOW_FACTOR_DEFAULT)
+    parser.add_argument("--banks", type=int, default=params.DEFAULT_BANKS)
+    parser.add_argument("--ranks", type=int, default=params.DEFAULT_RANKS)
+    parser.add_argument("--expo-factor", type=float,
+                        default=params.EXPO_FACTOR_DEFAULT)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--measure", type=int, default=None,
+                        help="measured LLC accesses (default from SimConfig)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="scale factor on the simulation windows")
+
+
+def _config_from_args(args: argparse.Namespace, workload: str,
+                      policy: str) -> SimConfig:
+    kwargs = dict(
+        workload=workload,
+        policy=policy,
+        slow_factor=args.slow_factor,
+        num_banks=args.banks,
+        num_ranks=args.ranks,
+        expo_factor=args.expo_factor,
+        seed=args.seed,
+    )
+    if args.measure is not None:
+        kwargs["measure_accesses"] = args.measure
+    config = SimConfig(**kwargs)
+    if args.scale != 1.0:
+        config = config.scaled(args.scale)
+    return config
+
+
+def _result_table(results) -> Table:
+    table = Table(
+        title="Simulation results",
+        columns=["workload", "policy", "ipc", "lifetime_years",
+                 "utilization", "drain", "slow_writes", "eager",
+                 "cancels", "energy_uJ"],
+    )
+    for result in results:
+        table.add_row(
+            result.workload, result.policy, result.ipc,
+            min(result.lifetime_years, 1e4), result.bank_utilization,
+            result.drain_fraction, result.writes_issued_slow,
+            result.eager_writebacks, result.cancellations,
+            result.total_energy_pj / 1e6,
+        )
+    return table
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args, args.workload, args.policy)
+    result = Runner().run(config)
+    print(render(_result_table([result])))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    workloads = (args.workloads.split(",") if args.workloads
+                 else list(WORKLOAD_NAMES))
+    policies = (args.policies.split(",") if args.policies
+                else list(PAPER_POLICY_NAMES))
+    for name in policies:
+        parse_policy(name)   # fail fast on typos
+    runner = Runner()
+    results = []
+    from repro.workloads.mix import MIXES
+    for workload in workloads:
+        if workload not in PROFILES and workload not in MIXES:
+            print(f"unknown workload: {workload}", file=sys.stderr)
+            return 2
+        for policy in policies:
+            results.append(
+                runner.run(_config_from_args(args, workload, policy))
+            )
+    print(render(_result_table(results)))
+    return 0
+
+
+def _emit_table(table, output: Optional[str]) -> None:
+    print(render(table))
+    if output:
+        from repro.analysis.export import write_table
+        path = write_table(table, output)
+        print(f"\nwrote {path}")
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    if args.name == "all":
+        for name, regenerate in ALL_FIGURES.items():
+            print(f"[{name}]")
+            _emit_table(regenerate(), None)
+            print()
+        return 0
+    try:
+        regenerate = ALL_FIGURES[args.name]
+    except KeyError:
+        known = ", ".join(list(ALL_FIGURES) + ["all"])
+        print(f"unknown figure {args.name!r} (known: {known})",
+              file=sys.stderr)
+        return 2
+    _emit_table(regenerate(), args.output)
+    return 0
+
+
+def cmd_ablation(args: argparse.Namespace) -> int:
+    try:
+        regenerate = ALL_ABLATIONS[args.name]
+    except KeyError:
+        known = ", ".join(ALL_ABLATIONS)
+        print(f"unknown ablation {args.name!r} (known: {known})",
+              file=sys.stderr)
+        return 2
+    _emit_table(regenerate(), args.output)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.compare import compare_configs
+    try:
+        parse_policy(args.policy)
+        parse_policy(args.against)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    baseline = _config_from_args(args, args.workload, args.against)
+    candidate = _config_from_args(args, args.workload, args.policy)
+    table = compare_configs(baseline, candidate, Runner())
+    _emit_table(table, args.output)
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    workloads = Table(
+        title="Workloads (Table IV)",
+        columns=["name", "mpki_paper", "apki", "base_cpi"],
+    )
+    for profile in PROFILES.values():
+        workloads.add_row(profile.name, profile.mpki_paper, profile.apki,
+                          profile.base_cpi)
+    print(render(workloads))
+    print()
+    policies = Table(title="Evaluated policies (Table III)",
+                     columns=["name"])
+    for name in PAPER_POLICY_NAMES:
+        policies.add_row(name)
+    print(render(policies))
+    print()
+    figures = Table(title="Reproducible figures/tables", columns=["id"])
+    for name in ALL_FIGURES:
+        figures.add_row(name)
+    for name in ALL_ABLATIONS:
+        figures.add_row(name)
+    print(render(figures))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mellow Writes (ISCA 2016) reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="simulate one workload under one policy",
+    )
+    _add_run_arguments(run_parser)
+    run_parser.set_defaults(handler=cmd_run)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="simulate a workload x policy grid",
+    )
+    sweep_parser.add_argument("--workloads", default=None,
+                              help="comma separated (default: all 11)")
+    sweep_parser.add_argument("--policies", default=None,
+                              help="comma separated (default: Table III set)")
+    sweep_parser.add_argument("--slow-factor", type=float,
+                              default=params.SLOW_FACTOR_DEFAULT)
+    sweep_parser.add_argument("--banks", type=int,
+                              default=params.DEFAULT_BANKS)
+    sweep_parser.add_argument("--ranks", type=int,
+                              default=params.DEFAULT_RANKS)
+    sweep_parser.add_argument("--expo-factor", type=float,
+                              default=params.EXPO_FACTOR_DEFAULT)
+    sweep_parser.add_argument("--seed", type=int, default=1)
+    sweep_parser.add_argument("--measure", type=int, default=None)
+    sweep_parser.add_argument("--scale", type=float, default=1.0)
+    sweep_parser.set_defaults(handler=cmd_sweep)
+
+    figure_parser = subparsers.add_parser(
+        "figure", help="regenerate one paper table/figure",
+    )
+    figure_parser.add_argument("name", help="e.g. fig11, tab06, or 'all'")
+    figure_parser.add_argument("--output", default=None,
+                               help="also export to .csv or .json")
+    figure_parser.set_defaults(handler=cmd_figure)
+
+    ablation_parser = subparsers.add_parser(
+        "ablation", help="run one ablation study",
+    )
+    ablation_parser.add_argument("name", help="e.g. abl_flip_n_write")
+    ablation_parser.add_argument("--output", default=None,
+                                 help="also export to .csv or .json")
+    ablation_parser.set_defaults(handler=cmd_ablation)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="compare one policy against another on a workload",
+    )
+    _add_run_arguments(compare_parser)
+    compare_parser.add_argument("--against", default="Norm",
+                                help="baseline policy (default Norm)")
+    compare_parser.add_argument("--output", default=None,
+                                help="also export to .csv or .json")
+    compare_parser.set_defaults(handler=cmd_compare)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list workloads, policies, figures",
+    )
+    list_parser.set_defaults(handler=cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""The paper's contribution: Mellow Writes policies and decisions.
+
+Bank-Aware Mellow Writes (Sec. IV-A), Eager Mellow Writes (Sec. IV-B),
+Wear Quota (Sec. IV-C), the Figure-9 decision tree and the Table III
+policy algebra.
+"""

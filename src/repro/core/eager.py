@@ -1,0 +1,56 @@
+"""Eager Mellow Writes (Section IV-B) - mechanism facade.
+
+The mechanism spans two hardware blocks, and its implementation lives with
+the block that owns the state:
+
+* **LLC side** (Section IV-B1, "Identifying Eager Mellow Writes"):
+  :class:`repro.cache.profiler.StackProfiler` keeps the per-LRU-position
+  hit counters and computes the *eager position* every sample period;
+  :meth:`repro.cache.llc.LastLevelCache.pick_eager_candidate` samples a
+  random set and hands out the least-recently-used dirty line in the
+  useless region, marking it clean but resident.
+* **Controller side** (Section IV-B2, "Performing Eager Mellow Writes"):
+  the 16-entry Eager Mellow Queue
+  (:class:`repro.memory.queues.RequestQueue` named ``eager``) has the
+  lowest priority, never triggers write drains, and issues only slow
+  writes, only when its bank has no read- or write-queue requests
+  (:meth:`repro.memory.controller.MemoryController._select_request`).
+
+This module re-exports the pieces so the paper's contribution is
+navigable from ``repro.core`` alongside Bank-Aware and Wear Quota, and
+provides the storage-overhead accounting of Section IV-E.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import params
+from repro.cache.deadblock import DeadBlockPredictor
+from repro.cache.llc import DEADBLOCK_SELECTOR, STACK_SELECTOR, LastLevelCache
+from repro.cache.profiler import StackProfiler
+
+__all__ = [
+    "DEADBLOCK_SELECTOR",
+    "DeadBlockPredictor",
+    "LastLevelCache",
+    "STACK_SELECTOR",
+    "StackProfiler",
+    "eager_storage_overhead_bits",
+]
+
+
+def eager_storage_overhead_bits(
+    llc_assoc: int = params.LLC_ASSOC,
+    sample_period_ns: float = params.PROFILE_PERIOD_NS,
+    proc_clk_ns: float = params.CPU_CLK_NS,
+) -> int:
+    """LLC-side storage cost of Eager Mellow Writes (Section IV-E).
+
+    One hit counter per LRU position plus a miss counter and a cycle
+    counter, each wide enough to count a full sample period of processor
+    cycles: ceil(log2(T_sample / T_clk)) * (assoc + 2) bits - 360 bits for
+    the paper's 16-way LLC and 500 us period.
+    """
+    counter_bits = math.ceil(math.log2(sample_period_ns / proc_clk_ns))
+    return counter_bits * (llc_assoc + 2)

@@ -1,0 +1,2 @@
+"""Core-side substrate: trace records, the simplified OoO core model,
+and trace file I/O."""

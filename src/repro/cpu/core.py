@@ -1,0 +1,261 @@
+"""Simplified out-of-order core model.
+
+The core consumes a trace of LLC accesses.  Between accesses it retires
+``gap_insts`` instructions at its base CPI.  Memory behaviour:
+
+* LLC hits proceed without stalling (the OoO window hides the 35-cycle
+  LLC latency).
+* LLC load misses occupy one of ``mlp`` MSHR-bounded outstanding-read slots.
+  When every slot is busy, the core stalls until one frees.
+* *Dependent* load misses stall the core until that specific read returns -
+  this is what makes read latency (and write drains that delay reads)
+  visible in IPC, with per-workload sensitivity.
+* Store misses allocate in the LLC (write-allocate) and issue a fill read,
+  but do not block retirement beyond the MLP bound.
+* Dirty LLC evictions become memory writebacks; a full write queue applies
+  backpressure and stalls the core (as a stalled cache fill would).
+
+IPC is reported in *core cycles*: instructions retired divided by elapsed
+time over the measurement window.
+
+Implementation style: the core is an event-queue actor.  ``_run`` drains as
+much of the trace as possible; it returns early when a wait condition holds
+(dependent read outstanding, MLP slots exhausted, or a queue-full
+backpressure).  Completion callbacks clear their condition and re-enter
+``_run``.  Stall time is accounted from the moment ``_run`` first blocks to
+the moment it makes progress again.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro import params
+from repro.cache.llc import LastLevelCache
+from repro.cpu.trace import TraceRecord
+from repro.memory.controller import MemoryController
+from repro.sim.events import EventQueue
+
+
+class SimpleCore:
+    def __init__(
+        self,
+        events: EventQueue,
+        llc: LastLevelCache,
+        controller: MemoryController,
+        trace: Iterator[TraceRecord],
+        base_cpi: float = 0.5,
+        mlp: int = params.LLC_MSHRS,
+        on_access: Optional[Callable[[int], None]] = None,
+        writeback_sink: Optional[Callable[[int], bool]] = None,
+    ) -> None:
+        if base_cpi <= 0:
+            raise ValueError("base_cpi must be positive")
+        if mlp < 1:
+            raise ValueError("mlp must be >= 1")
+        self.events = events
+        self.llc = llc
+        self.controller = controller
+        self.trace = trace
+        self.base_cpi = base_cpi
+        self.mlp = mlp
+        self.on_access = on_access
+        # Writebacks normally go straight to the controller's write queue;
+        # a DRAM write buffer (repro.memory.drambuffer) interposes here.
+        self.writeback_sink = (
+            writeback_sink if writeback_sink is not None
+            else controller.submit_write
+        )
+
+        self.instructions_retired = 0
+        self.accesses_processed = 0
+        self.outstanding_reads = 0
+        self.stall_time_ns = 0.0
+
+        self._next_read_id = 0
+        self._wait_read_id: Optional[int] = None    # dependent-load wait
+        self._waiting_mlp = False
+        self._waiting_write_space = False
+        self._waiting_read_space = False
+        self._wait_since: Optional[float] = None
+        self._pending_writeback: Optional[int] = None
+        self._pending_fill: Optional[TraceRecord] = None
+        self._finished = False
+        self._in_run = False
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the first instruction batch."""
+        self.events.schedule(self.events.now, self._run)
+
+    def mark_counters_reset(self) -> None:
+        """Zero retirement counters (end of warmup)."""
+        self.instructions_retired = 0
+        self.accesses_processed = 0
+        self.stall_time_ns = 0.0
+        if self._wait_since is not None:
+            self._wait_since = self.events.now
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def ipc(self, window_ns: float) -> float:
+        """Instructions per core cycle over ``window_ns``."""
+        if window_ns <= 0:
+            return 0.0
+        cycles = window_ns / params.CPU_CLK_NS
+        return self.instructions_retired / cycles
+
+    # ------------------------------------------------------------------
+    # Wait-condition bookkeeping
+    # ------------------------------------------------------------------
+
+    def _blocked(self) -> bool:
+        return (
+            self._wait_read_id is not None
+            or self._waiting_mlp
+            or self._waiting_write_space
+            or self._waiting_read_space
+        )
+
+    def _note_blocked(self) -> None:
+        if self._wait_since is None:
+            self._wait_since = self.events.now
+
+    def _note_progress(self) -> None:
+        if self._wait_since is not None:
+            self.stall_time_ns += self.events.now - self._wait_since
+            self._wait_since = None
+
+    # ------------------------------------------------------------------
+    # Main driver
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        if self._in_run:
+            return
+        self._in_run = True
+        try:
+            self._run_inner()
+        finally:
+            self._in_run = False
+
+    def _run_inner(self) -> None:
+        while not self._finished:
+            if self._blocked():
+                self._note_blocked()
+                return
+            if not self._retire_backlog():
+                self._note_blocked()
+                return
+            self._note_progress()
+            record = next(self.trace, None)
+            if record is None:
+                self._finished = True
+                return
+            if record.gap_insts > 0:
+                self.instructions_retired += record.gap_insts
+                gap_ns = record.gap_insts * self.base_cpi * params.CPU_CLK_NS
+                self.events.schedule_in(
+                    gap_ns, lambda r=record: self._access_then_run(r),
+                )
+                return
+            self._do_access(record)
+
+    def _access_then_run(self, record: TraceRecord) -> None:
+        if not self._blocked() and self._retire_backlog():
+            self._do_access(record)
+            self._run()
+            return
+        # Extremely rare: became blocked between scheduling and firing
+        # (e.g. a cancellation filled the write queue).  Replay the access
+        # once unblocked.
+        self._pending_fill = record
+        self._note_blocked()
+
+    def _retire_backlog(self) -> bool:
+        """Flush deferred work (writebacks, replayed fills); False = wait."""
+        if self._pending_writeback is not None:
+            if not self.writeback_sink(self._pending_writeback):
+                self._waiting_write_space = True
+                self.controller.wait_for_write_space(self._write_space_ready)
+                return False
+            self._pending_writeback = None
+        if self._pending_fill is not None:
+            record = self._pending_fill
+            self._pending_fill = None
+            self._do_access(record)
+            if self._blocked():
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+
+    def _do_access(self, record: TraceRecord) -> None:
+        result = self.llc.access(record.block, record.is_write)
+        self.accesses_processed += 1
+        if self.on_access is not None:
+            self.on_access(self.accesses_processed)
+        if result.hit:
+            return
+
+        # Dirty victim -> writeback (separate queue; may backpressure).
+        if result.victim is not None and result.victim.dirty:
+            victim_block = self.llc.cache.block_of(
+                self.llc.cache.set_index(record.block), result.victim.tag,
+            )
+            if not self.writeback_sink(victim_block):
+                self._pending_writeback = victim_block
+                self._waiting_write_space = True
+                self.controller.wait_for_write_space(self._write_space_ready)
+
+        # Fill read for the miss (loads and stores alike - write-allocate).
+        read_id = self._next_read_id
+        self._next_read_id += 1
+        callback = self._make_read_callback(read_id)
+        if not self.controller.submit_read(record.block, callback):
+            # Read queue full: the line is already allocated; replay the
+            # read (gap 0, same block - an LLC hit plus a fresh fill) once
+            # space frees.
+            self._pending_fill = TraceRecord(
+                0, record.block, record.is_write, record.dependent,
+            )
+            self._waiting_read_space = True
+            self.controller.wait_for_read_space(self._read_space_ready)
+            return
+        self.outstanding_reads += 1
+
+        if record.dependent and not record.is_write:
+            self._wait_read_id = read_id
+        elif self.outstanding_reads >= self.mlp:
+            self._waiting_mlp = True
+
+    # ------------------------------------------------------------------
+    # Resume callbacks
+    # ------------------------------------------------------------------
+
+    def _make_read_callback(self, read_id: int) -> Callable[[float], None]:
+        def on_done(_completion_ns: float) -> None:
+            self.outstanding_reads -= 1
+            changed = False
+            if self._wait_read_id == read_id:
+                self._wait_read_id = None
+                changed = True
+            if self._waiting_mlp and self.outstanding_reads < self.mlp:
+                self._waiting_mlp = False
+                changed = True
+            if changed:
+                self._run()
+        return on_done
+
+    def _write_space_ready(self) -> None:
+        self._waiting_write_space = False
+        self._run()
+
+    def _read_space_ready(self) -> None:
+        self._waiting_read_space = False
+        self._run()

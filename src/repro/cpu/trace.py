@@ -1,0 +1,46 @@
+"""Trace records consumed by the simplified core.
+
+A trace is an (infinite) iterator of :class:`TraceRecord`.  Records are at
+*post-L2* granularity: each one is an access that reaches the LLC, preceded
+by ``gap_insts`` instructions that hit in upper cache levels or touch no
+memory at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One LLC access.
+
+    Attributes:
+        gap_insts: instructions executed since the previous LLC access.
+        block: global cacheline block index.
+        is_write: True for a store (the LLC line becomes dirty).
+        dependent: True when program progress blocks on this load's value
+            (pointer chases, address computations).  Stores are never
+            dependent.
+    """
+
+    gap_insts: int
+    block: int
+    is_write: bool
+    dependent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.gap_insts < 0:
+            raise ValueError("gap_insts cannot be negative")
+        if self.block < 0:
+            raise ValueError("block cannot be negative")
+        if self.is_write and self.dependent:
+            raise ValueError("stores cannot be dependent")
+
+
+def replay(records: Iterable[TraceRecord], repeats: int = 1) -> Iterator[TraceRecord]:
+    """Cycle a finite record list ``repeats`` times (testing helper)."""
+    materialised: List[TraceRecord] = list(records)
+    for _ in range(repeats):
+        yield from materialised

@@ -1,0 +1,90 @@
+"""Trace file I/O: persist and replay LLC access traces.
+
+Format: plain text (optionally gzip'd when the path ends in ``.gz``), one
+record per line::
+
+    <gap_insts> <block> <R|W> [D]
+
+``D`` marks a dependent load.  A ``#`` prefix starts a comment; blank
+lines are ignored.  The format is deliberately trivial so traces from
+external tools (gem5 dumps, pin traces post-processed to L2-miss streams)
+can be fed into the simulator with a few lines of shell.
+"""
+
+from __future__ import annotations
+
+import gzip
+import itertools
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.cpu.trace import TraceRecord
+
+PathLike = Union[str, Path]
+
+
+def _open(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def save_trace(records: Iterable[TraceRecord], path: PathLike,
+               limit: int = None) -> int:
+    """Write records to ``path``; returns the number written.
+
+    ``limit`` bounds how many records are consumed - mandatory in spirit
+    for the package's infinite synthetic traces.
+    """
+    path = Path(path)
+    count = 0
+    if limit is not None:
+        records = itertools.islice(records, limit)
+    with _open(path, "w") as handle:
+        handle.write("# repro trace v1: gap_insts block R|W [D]\n")
+        for record in records:
+            kind = "W" if record.is_write else "R"
+            dep = " D" if record.dependent else ""
+            handle.write(f"{record.gap_insts} {record.block} {kind}{dep}\n")
+            count += 1
+    return count
+
+
+def load_trace(path: PathLike) -> Iterator[TraceRecord]:
+    """Stream records back from a trace file (lazily, line by line)."""
+    path = Path(path)
+    with _open(path, "r") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) not in (3, 4):
+                raise ValueError(
+                    f"{path}:{line_number}: expected 3-4 fields, got {line!r}"
+                )
+            gap, block, kind = parts[0], parts[1], parts[2].upper()
+            if kind not in ("R", "W"):
+                raise ValueError(
+                    f"{path}:{line_number}: access kind must be R or W"
+                )
+            dependent = len(parts) == 4
+            if dependent and parts[3].upper() != "D":
+                raise ValueError(
+                    f"{path}:{line_number}: trailing field must be D"
+                )
+            yield TraceRecord(
+                gap_insts=int(gap),
+                block=int(block),
+                is_write=kind == "W",
+                dependent=dependent,
+            )
+
+
+def record_workload(workload_name: str, path: PathLike, count: int,
+                    seed: int = 1) -> int:
+    """Capture ``count`` records of a built-in synthetic workload."""
+    from repro.workloads.profiles import get_profile
+
+    trace = get_profile(workload_name).trace(seed)
+    return save_trace(trace, path, limit=count)

@@ -1,0 +1,79 @@
+"""Analytic write-latency/endurance trade-off model (Section II).
+
+The paper adopts Strukov's model (Applied Physics A, 2016):
+
+    Endurance ~ (t_WP / t0) ** Expo_Factor          (Eq. 2)
+
+anchored so that the normal write pulse (150 ns) yields the baseline
+endurance of 5e6 writes.  Slowing a write by a factor N therefore multiplies
+endurance by N ** Expo_Factor; the paper's Table II default values
+(1.125e7 / 2.0e7 / 4.5e7 writes at 1.5x/2.0x/3.0x with Expo_Factor = 2)
+fall out of this formula exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro import params
+
+
+@dataclass(frozen=True)
+class EnduranceModel:
+    """Endurance as a function of write-pulse time.
+
+    Attributes:
+        base_latency_ns: the normal write pulse width (t_WP at 1.0x).
+        base_endurance: endurance (number of writes) at the normal pulse.
+        expo_factor: the exponent relating slowdown to endurance gain.
+    """
+
+    base_latency_ns: float = params.T_WP_NORMAL_NS
+    base_endurance: float = params.BASE_ENDURANCE
+    expo_factor: float = params.EXPO_FACTOR_DEFAULT
+
+    def __post_init__(self) -> None:
+        if self.base_latency_ns <= 0:
+            raise ValueError("base_latency_ns must be positive")
+        if self.base_endurance <= 0:
+            raise ValueError("base_endurance must be positive")
+        if self.expo_factor < 0:
+            raise ValueError("expo_factor must be non-negative")
+
+    def endurance_at_factor(self, slow_factor: float) -> float:
+        """Endurance (writes) for a write slowed by ``slow_factor`` (>= a cell
+        written always at that speed can endure)."""
+        if slow_factor <= 0:
+            raise ValueError("slow_factor must be positive")
+        return self.base_endurance * slow_factor ** self.expo_factor
+
+    def endurance_at_latency(self, latency_ns: float) -> float:
+        """Endurance for an absolute write-pulse width in nanoseconds."""
+        return self.endurance_at_factor(latency_ns / self.base_latency_ns)
+
+    def damage_per_write(self, slow_factor: float) -> float:
+        """Wear of one write, in *normal-write equivalents*.
+
+        A normal write deposits 1.0; a 3x slow write at Expo_Factor 2
+        deposits 1/9.  Summing damage and comparing against
+        ``base_endurance`` is equivalent to tracking per-speed write counts
+        against per-speed endurance limits.
+        """
+        return self.base_endurance / self.endurance_at_factor(slow_factor)
+
+    def latency_for_endurance(self, endurance: float) -> float:
+        """Inverse model: pulse width (ns) needed for a target endurance."""
+        if endurance <= 0:
+            raise ValueError("endurance must be positive")
+        if self.expo_factor == 0:
+            raise ValueError("expo_factor 0 has no inverse")
+        factor = (endurance / self.base_endurance) ** (1.0 / self.expo_factor)
+        return factor * self.base_latency_ns
+
+    def curve(self, slow_factors: Sequence[float]) -> list:
+        """(factor, latency_ns, endurance) rows - the data behind Figure 1."""
+        return [
+            (f, f * self.base_latency_ns, self.endurance_at_factor(f))
+            for f in slow_factors
+        ]

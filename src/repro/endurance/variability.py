@@ -1,0 +1,123 @@
+"""Process variation in cell endurance + ECC spare capacity.
+
+The paper (like most architecture work) models a single deterministic
+endurance per cell and declares the system dead at the first block death.
+Real resistive arrays show lognormal endurance variation across cells, and
+real systems deploy error correction that tolerates the first k dead
+cells per protected unit.  This module extends the lifetime calculation
+with both effects, using order statistics rather than Monte Carlo:
+
+* cell endurance ~ Lognormal(mu, sigma), parameterised by the *median*
+  endurance (the paper's 5e6) and a sigma in log space;
+* a bank of N blocks under near-uniform leveled wear fails when its
+  (k+1)-th weakest block fails, where k is the number of block deaths the
+  spare/ECC provisioning absorbs;
+* the expected endurance of the (k+1)-th weakest of N lognormal samples is
+  approximated through the normal quantile of rank probability
+  p = (k + 0.625) / (N + 0.25) (Blom's formula), which is exact enough for
+  N >= 1000 and avoids simulating millions of cells.
+
+The result plugs into the same lifetime algebra as
+:class:`repro.endurance.wear.WearTracker`: lifetime scales linearly in the
+effective endurance, so ``lifetime_scale_factor`` multiplies any
+deterministic lifetime the simulator reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import params
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse standard normal CDF (Acklam's rational approximation)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    # Coefficients for the central and tail regions.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    p_low, p_high = 0.02425, 1 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    if p > p_high:
+        q = math.sqrt(-2 * math.log(1 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                 + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+            + a[5]) * q / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r
+                            + b[4]) * r + 1)
+
+
+@dataclass(frozen=True)
+class EnduranceVariability:
+    """Lognormal endurance variation with ECC/spare block tolerance.
+
+    Attributes:
+        median_endurance: median cell endurance (the paper's deterministic
+            value sits here).
+        sigma: lognormal shape in natural-log space; 0 recovers the
+            deterministic model.  Published ReRAM arrays report
+            sigma ~ 0.3-0.8.
+        tolerated_failures: block deaths absorbed before the bank is dead
+            (spare blocks / strong ECC provisioning); 0 = paper model.
+    """
+
+    median_endurance: float = params.BASE_ENDURANCE
+    sigma: float = 0.0
+    tolerated_failures: int = 0
+
+    def __post_init__(self) -> None:
+        if self.median_endurance <= 0:
+            raise ValueError("median_endurance must be positive")
+        if self.sigma < 0:
+            raise ValueError("sigma cannot be negative")
+        if self.tolerated_failures < 0:
+            raise ValueError("tolerated_failures cannot be negative")
+
+    def weakest_block_endurance(self, num_blocks: int) -> float:
+        """Expected endurance of the (k+1)-th weakest of ``num_blocks``.
+
+        With k = ``tolerated_failures`` deaths absorbed, this is the
+        endurance at which the bank actually dies.
+        """
+        if num_blocks < 1:
+            raise ValueError("num_blocks must be >= 1")
+        if self.sigma == 0.0:
+            return self.median_endurance
+        rank = min(self.tolerated_failures, num_blocks - 1)
+        # Blom plotting position for the (rank+1)-th order statistic.
+        p = (rank + 1 - 0.375) / (num_blocks + 0.25)
+        z = _normal_quantile(p)
+        return self.median_endurance * math.exp(self.sigma * z)
+
+    def lifetime_scale_factor(self, num_blocks: int) -> float:
+        """Multiplier on a deterministic-endurance lifetime.
+
+        Deterministic lifetimes assume every block endures the median;
+        under variation the bank dies when its weakest non-spared block
+        dies, so the lifetime scales by weakest/median.
+        """
+        return self.weakest_block_endurance(num_blocks) / self.median_endurance
+
+    def ecc_gain(self, num_blocks: int) -> float:
+        """Lifetime multiplier from tolerating failures vs tolerating none."""
+        if self.sigma == 0.0:
+            return 1.0
+        none = EnduranceVariability(self.median_endurance, self.sigma, 0)
+        return (self.weakest_block_endurance(num_blocks)
+                / none.weakest_block_endurance(num_blocks))

@@ -1,0 +1,2 @@
+"""Energy models: Table V cell parameters, the nvsim-equivalent line
+energy model (Table VI), and run-level accounting (Figure 16)."""

@@ -1,0 +1,69 @@
+"""Run-level main-memory energy accounting (Figure 16).
+
+Charges, per the paper's Section VI-F:
+
+* every row-buffer-miss read: one full buffer read (1503 pJ);
+* every row-buffer-hit read: 100 pJ;
+* every completed write at its speed's line energy (CellC by default);
+* every *cancelled* write attempt at the energy fraction of the pulse it
+  completed - cancellation and eager writebacks are exactly why Mellow
+  Writes costs extra energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import params
+from repro.energy.nvsim import LineEnergyModel
+
+
+@dataclass
+class EnergyAccount:
+    model: LineEnergyModel = field(
+        default_factory=lambda: LineEnergyModel.for_cell(
+            params.DEFAULT_ENERGY_CELL
+        )
+    )
+    read_hit_count: int = 0
+    read_miss_count: int = 0
+    write_normal_count: float = 0.0     # fractional attempts accumulate
+    write_slow_count: float = 0.0
+
+    def charge_read(self, row_hit: bool) -> None:
+        if row_hit:
+            self.read_hit_count += 1
+        else:
+            self.read_miss_count += 1
+
+    def charge_write(self, slow: bool, fraction: float = 1.0) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if slow:
+            self.write_slow_count += fraction
+        else:
+            self.write_normal_count += fraction
+
+    @property
+    def read_energy_pj(self) -> float:
+        return (
+            self.read_hit_count * self.model.read_energy_pj(True)
+            + self.read_miss_count * self.model.read_energy_pj(False)
+        )
+
+    @property
+    def write_energy_pj(self) -> float:
+        return (
+            self.write_normal_count * self.model.write_energy_pj(False)
+            + self.write_slow_count * self.model.write_energy_pj(True)
+        )
+
+    @property
+    def total_pj(self) -> float:
+        return self.read_energy_pj + self.write_energy_pj
+
+    def reset(self) -> None:
+        self.read_hit_count = 0
+        self.read_miss_count = 0
+        self.write_normal_count = 0.0
+        self.write_slow_count = 0.0

@@ -1,0 +1,82 @@
+"""Analytic line/row energy model standing in for nvsim (Table VI).
+
+Table VI's structure is fully determined by two observations:
+
+* a cacheline write programs 512 cells (64 B), half set / half reset (the
+  paper's stated assumption), so the array energy is
+  ``512 * cell_energy`` for normal writes and ``512 * 2.3 * cell_energy``
+  for slow writes;
+* peripheral circuitry (decoders, drivers, sense amps) adds a speed- and
+  cell-independent constant per operation.
+
+Solving the published CellC row (402.4 pJ normal write at 0.4 pJ/cell)
+gives a peripheral write energy of 197.6 pJ; that single constant then
+reproduces *every* normal and slow write entry of Table VI, as the test
+suite verifies.  The buffer (row) read energy, 1503 pJ for a 1 KB row
+buffer, is likewise peripheral-dominated and taken as a constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import params
+from repro.energy.cells import CellParameters, get_cell
+
+CELLS_PER_LINE = params.CACHELINE_BYTES * 8      # one cell per bit
+WRITE_PERIPHERAL_PJ = 197.6                      # solved from Table VI CellC
+BUFFER_READ_PJ = 1503.0                          # Table VI, all cells
+
+
+@dataclass(frozen=True)
+class LineEnergyModel:
+    """Energy per memory operation for one cell design point."""
+
+    cell: CellParameters
+    cells_per_line: int = CELLS_PER_LINE
+    write_peripheral_pj: float = WRITE_PERIPHERAL_PJ
+    buffer_read_pj: float = BUFFER_READ_PJ
+    row_hit_read_pj: float = params.ROW_BUFFER_HIT_READ_PJ
+
+    @classmethod
+    def for_cell(cls, name: str = params.DEFAULT_ENERGY_CELL) -> "LineEnergyModel":
+        return cls(cell=get_cell(name))
+
+    def write_energy_pj(self, slow: bool) -> float:
+        """Energy of one cacheline write (Table VI norm/slow columns).
+
+        Half the bits are set and half reset; set and reset energies are
+        equal in Table V, so the array term is cells * cell_energy.
+        """
+        array = self.cells_per_line * self.cell.cell_write_energy_pj(slow)
+        return array + self.write_peripheral_pj
+
+    def write_energy_pj_for(self, factor: float) -> float:
+        """Line write energy at an arbitrary slowdown factor (multi-latency
+        extension); matches ``write_energy_pj`` at factors 1.0 and 3.0."""
+        array = self.cells_per_line * self.cell.cell_write_energy_for(factor)
+        return array + self.write_peripheral_pj
+
+    @property
+    def slow_norm_ratio(self) -> float:
+        """The Table VI "Slow-Norm Write Energy Ratio" column."""
+        return self.write_energy_pj(True) / self.write_energy_pj(False)
+
+    def read_energy_pj(self, row_hit: bool) -> float:
+        """Row-buffer-hit read vs full buffer (array row) read."""
+        return self.row_hit_read_pj if row_hit else self.buffer_read_pj
+
+
+def table_vi_rows():
+    """Regenerate Table VI: one row per cell design point."""
+    rows = []
+    for name in params.CELL_ENERGIES_PJ:
+        model = LineEnergyModel.for_cell(name)
+        rows.append({
+            "cell": name,
+            "buffer_read_pj": model.buffer_read_pj,
+            "norm_write_pj": model.write_energy_pj(False),
+            "slow_write_pj": model.write_energy_pj(True),
+            "slow_norm_ratio": model.slow_norm_ratio,
+        })
+    return rows

@@ -1,0 +1,22 @@
+"""Experiment regenerators: one callable per paper exhibit + studies.
+
+``ALL_FIGURES`` maps exhibit ids (fig01..fig19, tab04, tab06) to
+regenerator callables; ``ALL_ABLATIONS`` the ablation studies.  The
+benchmark harness and the CLI (`python -m repro figure <id>`) both
+resolve through these registries.
+"""
+
+from repro.experiments.ablations import ALL_ABLATIONS
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.headline import headline_summary
+from repro.experiments.runner import Runner, default_runner
+from repro.experiments.seeds import seed_stability
+
+__all__ = [
+    "ALL_ABLATIONS",
+    "ALL_FIGURES",
+    "Runner",
+    "default_runner",
+    "headline_summary",
+    "seed_stability",
+]

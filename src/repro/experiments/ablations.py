@@ -1,0 +1,207 @@
+"""Ablation studies on the design choices DESIGN.md calls out.
+
+These go beyond the paper's published figures:
+
+* eager-candidate selector: the paper's LRU-position profile vs the
+  dead-block predictor it names as future work;
+* Flip-N-Write composition: the orthogonal physical wear limiter stacked
+  on Mellow Writes;
+* multi-latency Mellow Writes (+ML): the Section VI-I extension;
+* eager scan interval: how aggressively the LLC volunteers dirty lines;
+* Wear Quota sample period: control granularity vs guarantee tightness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.report import Table
+from repro.experiments.runner import Runner, default_runner, selected_workloads
+from repro.sim.config import SimConfig
+
+ABLATION_WORKLOADS = ("GemsFDTD", "lbm", "milc")
+
+
+def _runner(runner: Optional[Runner]) -> Runner:
+    return runner if runner is not None else default_runner()
+
+
+def abl_eager_selector(runner: Optional[Runner] = None,
+                       workloads: Sequence[str] = ABLATION_WORKLOADS) -> Table:
+    runner = _runner(runner)
+    table = Table(
+        title="Ablation: eager candidate selector (stack profile vs "
+              "dead-block prediction)",
+        columns=["workload", "selector", "ipc", "lifetime_years",
+                 "eager_writebacks", "wasted_eager", "waste_rate"],
+    )
+    for workload in workloads:
+        for selector in ("stack", "deadblock"):
+            result = runner.scaled(SimConfig(
+                workload=workload, policy="BE-Mellow+SC",
+                eager_selector=selector,
+            ))
+            waste = (result.wasted_eager / result.eager_writebacks
+                     if result.eager_writebacks else 0.0)
+            table.add_row(workload, selector, result.ipc,
+                          result.lifetime_years, result.eager_writebacks,
+                          result.wasted_eager, waste)
+    table.notes.append(
+        "decay-based dead-block prediction trades recall (far fewer eager "
+        "writes) for precision (near-zero waste)"
+    )
+    return table
+
+
+def abl_flip_n_write(runner: Optional[Runner] = None,
+                     workloads: Sequence[str] = ABLATION_WORKLOADS) -> Table:
+    runner = _runner(runner)
+    table = Table(
+        title="Ablation: Flip-N-Write composed with Mellow Writes",
+        columns=["workload", "config", "ipc", "lifetime_years"],
+    )
+    for workload in workloads:
+        for policy, fnw in (("Norm", False), ("Norm", True),
+                            ("BE-Mellow+SC", False), ("BE-Mellow+SC", True)):
+            result = runner.scaled(SimConfig(
+                workload=workload, policy=policy, flip_n_write=fnw,
+            ))
+            label = policy + ("+FNW" if fnw else "")
+            table.add_row(workload, label, result.ipc, result.lifetime_years)
+    table.notes.append(
+        "Flip-N-Write reduces wear per write (~0.46x) with no timing cost; "
+        "gains multiply with Mellow Writes because the techniques are "
+        "orthogonal (Section VII)"
+    )
+    return table
+
+
+def abl_multi_latency(runner: Optional[Runner] = None,
+                      workloads: Sequence[str] = ("hmmer", "lbm", "stream"),
+                      ) -> Table:
+    runner = _runner(runner)
+    table = Table(
+        title="Ablation: multi-latency Mellow Writes (+ML, Section VI-I)",
+        columns=["workload", "policy", "ipc", "lifetime_years",
+                 "normal_writes", "slow_writes"],
+    )
+    for workload in workloads:
+        for policy in ("B-Mellow+SC", "B-Mellow+SC+ML", "BE-Mellow+SC+ML"):
+            result = runner.scaled(SimConfig(workload=workload, policy=policy))
+            table.add_row(workload, policy, result.ipc,
+                          result.lifetime_years, result.writes_issued_normal,
+                          result.writes_issued_slow)
+    table.notes.append(
+        "the 1.5x middle tier targets the latency-sensitive workloads "
+        "(hmmer, lbm, stream) where the paper says two speeds are too coarse"
+    )
+    return table
+
+
+def abl_eager_scan_interval(runner: Optional[Runner] = None,
+                            workload: str = "GemsFDTD") -> Table:
+    runner = _runner(runner)
+    table = Table(
+        title=f"Ablation: eager scan interval ({workload})",
+        columns=["scan_interval_ns", "ipc", "lifetime_years",
+                 "eager_writebacks", "wasted_eager"],
+    )
+    for interval in (30.0, 60.0, 240.0, 960.0):
+        result = runner.scaled(SimConfig(
+            workload=workload, policy="BE-Mellow+SC",
+            eager_scan_interval_ns=interval,
+        ))
+        table.add_row(interval, result.ipc, result.lifetime_years,
+                      result.eager_writebacks, result.wasted_eager)
+    table.notes.append(
+        "slower scans shrink the eager-write supply and with it the "
+        "lifetime benefit; the paper's 'any idle LLC cycle' is the "
+        "aggressive end"
+    )
+    return table
+
+
+def abl_quota_period(runner: Optional[Runner] = None,
+                     workload: str = "lbm") -> Table:
+    runner = _runner(runner)
+    table = Table(
+        title=f"Ablation: Wear Quota sample period ({workload})",
+        columns=["period_ns", "ipc", "lifetime_years", "slow_writes"],
+    )
+    for period in (100_000.0, 500_000.0, 2_000_000.0):
+        result = runner.scaled(SimConfig(
+            workload=workload, policy="BE-Mellow+SC+WQ",
+            sample_period_ns=period,
+        ))
+        table.add_row(period, result.ipc, result.lifetime_years,
+                      result.writes_issued_slow)
+    table.notes.append(
+        "shorter periods track the quota more tightly (lifetime closer to "
+        "the target from below) at slightly higher control overhead"
+    )
+    return table
+
+
+def abl_dram_buffer(runner: Optional[Runner] = None,
+                    workloads: Sequence[str] = ("gups", "milc", "lbm"),
+                    ) -> Table:
+    runner = _runner(runner)
+    table = Table(
+        title="Ablation: DRAM write-coalescing buffer (Qureshi et al. '09 "
+              "baseline) composed with Mellow Writes",
+        columns=["workload", "config", "ipc", "lifetime_years",
+                 "writes_to_memory"],
+    )
+    entries_options = (0, 65536)           # 0 vs a 4 MB coalescing buffer
+    for workload in workloads:
+        for policy in ("Norm", "BE-Mellow+SC"):
+            for entries in entries_options:
+                result = runner.scaled(SimConfig(
+                    workload=workload, policy=policy,
+                    dram_buffer_entries=entries,
+                ))
+                label = policy + (f"+DRAM{entries}" if entries else "")
+                table.add_row(workload, label, result.ipc,
+                              result.lifetime_years,
+                              result.writes_issued_total)
+    table.notes.append(
+        "coalescing removes re-writebacks where they exist (milc's 96 MB "
+        "working set) and is nearly inert for uniform-random updates over "
+        "512 MB (gups) and write-once streams (lbm) - buffer reach vs "
+        "footprint decides, as in Qureshi et al.'s DRAM-buffered PCM"
+    )
+    return table
+
+
+def abl_write_pausing(runner: Optional[Runner] = None,
+                      workloads: Sequence[str] = ("GemsFDTD", "milc", "mcf"),
+                      ) -> Table:
+    runner = _runner(runner)
+    table = Table(
+        title="Ablation: write cancellation vs write pausing (+WP)",
+        columns=["workload", "policy", "ipc", "lifetime_years",
+                 "cancellations", "pauses"],
+    )
+    for workload in workloads:
+        for policy in ("Slow+SC", "Slow+SC+WP", "BE-Mellow+SC",
+                       "BE-Mellow+SC+WP"):
+            result = runner.scaled(SimConfig(workload=workload, policy=policy))
+            table.add_row(workload, policy, result.ipc,
+                          result.lifetime_years, result.cancellations,
+                          result.pauses)
+    table.notes.append(
+        "pausing retains pulse progress, so interrupted writes stop "
+        "re-paying wear and latency; lifetimes rise at equal or better IPC"
+    )
+    return table
+
+
+ALL_ABLATIONS = {
+    "abl_eager_selector": abl_eager_selector,
+    "abl_flip_n_write": abl_flip_n_write,
+    "abl_multi_latency": abl_multi_latency,
+    "abl_eager_scan_interval": abl_eager_scan_interval,
+    "abl_quota_period": abl_quota_period,
+    "abl_dram_buffer": abl_dram_buffer,
+    "abl_write_pausing": abl_write_pausing,
+}

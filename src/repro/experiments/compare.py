@@ -1,0 +1,82 @@
+"""Side-by-side comparison of two configurations.
+
+``compare_configs`` runs (or fetches) two configurations that differ in
+any knob - policy, bank count, slow factor, extensions - and reports the
+metric deltas in one table.  This is the workhorse behind
+``python -m repro compare`` and a convenient programmatic entry point:
+
+    >>> from repro.experiments.compare import compare_configs
+    >>> from repro.sim.config import SimConfig
+    >>> table = compare_configs(
+    ...     SimConfig(workload="lbm", policy="Norm"),
+    ...     SimConfig(workload="lbm", policy="BE-Mellow+SC+WQ"),
+    ... )
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.lifetime import capped
+from repro.analysis.report import Table
+from repro.experiments.runner import Runner, default_runner
+from repro.sim.config import SimConfig
+from repro.sim.stats import RunResult
+
+# (label, attribute, higher_is_better)
+_METRICS = (
+    ("IPC", "ipc", True),
+    ("lifetime (years)", "lifetime_years", True),
+    ("bank utilization", "bank_utilization", None),
+    ("write-drain fraction", "drain_fraction", False),
+    ("avg read latency (ns)", "avg_read_latency_ns", False),
+    ("LLC MPKI", "mpki", None),
+    ("writebacks", "writebacks", None),
+    ("eager writebacks", "eager_writebacks", None),
+    ("normal writes issued", "writes_issued_normal", None),
+    ("slow writes issued", "writes_issued_slow", None),
+    ("cancellations", "cancellations", None),
+    ("pauses", "pauses", None),
+    ("memory energy (uJ)", "total_energy_pj", False),
+)
+
+
+def _value(result: RunResult, attribute: str) -> float:
+    value = getattr(result, attribute)
+    if attribute == "total_energy_pj":
+        return value / 1e6
+    if attribute == "lifetime_years":
+        return capped(value)
+    return value
+
+
+def compare_configs(
+    baseline: SimConfig,
+    candidate: SimConfig,
+    runner: Optional[Runner] = None,
+    baseline_label: Optional[str] = None,
+    candidate_label: Optional[str] = None,
+) -> Table:
+    """Run both configs and tabulate metric-by-metric ratios."""
+    runner = runner if runner is not None else default_runner()
+    base = runner.scaled(baseline)
+    cand = runner.scaled(candidate)
+    baseline_label = baseline_label or f"{base.workload}/{base.policy}"
+    candidate_label = candidate_label or f"{cand.workload}/{cand.policy}"
+    table = Table(
+        title=f"Comparison: {candidate_label} vs {baseline_label}",
+        columns=["metric", baseline_label, candidate_label, "ratio",
+                 "verdict"],
+    )
+    for label, attribute, higher_is_better in _METRICS:
+        a = _value(base, attribute)
+        b = _value(cand, attribute)
+        ratio = b / a if a else float("inf") if b else 1.0
+        if higher_is_better is None or abs(ratio - 1.0) < 0.02:
+            verdict = ""
+        elif (ratio > 1.0) == higher_is_better:
+            verdict = "better"
+        else:
+            verdict = "worse"
+        table.add_row(label, a, b, ratio, verdict)
+    return table

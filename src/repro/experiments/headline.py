@@ -1,0 +1,69 @@
+"""The paper's headline numbers as one reproducible summary.
+
+Abstract / Section VI-A: "our best Mellow Writes mechanism can achieve
+2.58x lifetime and 1.06x performance of the baseline system", E-Slow+SC
+has "geometric mean: 0.77x performance, worst 0.46x (lbm)", and Wear Quota
+"guarantees a minimal lifetime (e.g., 8 years)".  This module computes the
+same suite-level aggregates from the full 11-workload sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro import params
+from repro.analysis.lifetime import capped, geomean
+from repro.analysis.report import Table
+from repro.core.policies import PAPER_POLICY_NAMES
+from repro.experiments.runner import Runner, default_runner, selected_workloads
+from repro.sim.config import SimConfig
+
+# Published suite-level anchors (policy -> (ipc_vs_norm, lifetime_vs_norm));
+# None where the paper gives no explicit number.
+PAPER_HEADLINES = {
+    "BE-Mellow+SC": (1.06, 2.58),
+    "E-Slow+SC": (0.77, None),
+}
+
+
+def headline_summary(runner: Optional[Runner] = None,
+                     workloads: Optional[Sequence[str]] = None) -> Table:
+    """Geomean IPC and lifetime of every policy, normalised to Norm."""
+    runner = runner if runner is not None else default_runner()
+    workloads = selected_workloads(workloads)
+    table = Table(
+        title="Headline summary: geomean IPC / lifetime vs Norm "
+              "(paper: BE-Mellow+SC = 1.06x / 2.58x)",
+        columns=["policy", "ipc_vs_norm", "lifetime_vs_norm",
+                 "min_lifetime_years", "paper_ipc", "paper_lifetime"],
+    )
+    results = {}
+    for workload in workloads:
+        results[workload] = {
+            policy: runner.scaled(SimConfig(workload=workload, policy=policy))
+            for policy in PAPER_POLICY_NAMES
+        }
+    for policy in PAPER_POLICY_NAMES:
+        ipc_ratios = []
+        life_ratios = []
+        min_life = float("inf")
+        for workload in workloads:
+            base = results[workload]["Norm"]
+            mine = results[workload][policy]
+            ipc_ratios.append(mine.ipc / base.ipc)
+            life_ratios.append(
+                capped(mine.lifetime_years) / capped(base.lifetime_years)
+            )
+            min_life = min(min_life, mine.lifetime_years)
+        paper_ipc, paper_life = PAPER_HEADLINES.get(policy, (None, None))
+        table.add_row(
+            policy, geomean(ipc_ratios), geomean(life_ratios), min_life,
+            paper_ipc if paper_ipc is not None else "-",
+            paper_life if paper_life is not None else "-",
+        )
+    table.notes.append(
+        "min_lifetime_years shows the Wear Quota floor: +WQ policies must "
+        f"approach {params.TARGET_LIFETIME_YEARS:.0f} years on every "
+        "workload (asymptotically exact; short windows truncate catch-up)"
+    )
+    return table

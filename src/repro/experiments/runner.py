@@ -1,0 +1,147 @@
+"""Sweep driver with a persistent result cache.
+
+Figures 10-16 all read the same 11x9 (workload x policy) sweep; the cache
+lets each bench regenerate its figure without re-simulating runs another
+bench already produced.  Results are stored as JSON keyed by a hash of the
+full :class:`SimConfig`, so any parameter change invalidates cleanly.
+
+Environment knobs:
+
+* ``REPRO_SCALE``       - scale factor on window lengths (default 1.0;
+  benches use ~0.25 for quick runs).
+* ``REPRO_WORKLOADS``   - comma-separated subset of workloads to sweep.
+* ``REPRO_CACHE_DIR``   - cache location (default ``.repro_cache`` in cwd).
+* ``REPRO_NO_CACHE=1``  - disable the persistent cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.endurance.wear import BankWearRecord
+from repro.sim.config import SimConfig
+from repro.sim.stats import RunResult
+from repro.sim.system import run_simulation
+from repro.workloads.profiles import WORKLOAD_NAMES
+
+_SCALAR_FIELDS = [
+    "workload", "policy", "slow_factor", "num_banks", "expo_factor",
+    "window_ns", "instructions", "accesses", "ipc", "lifetime_years",
+    "bank_utilization", "drain_fraction", "avg_read_latency_ns",
+    "llc_misses", "llc_hits", "mpki", "writebacks", "eager_writebacks",
+    "wasted_eager", "reads_issued", "read_row_hits", "read_row_misses",
+    "writes_issued_normal", "writes_issued_slow", "eager_issued",
+    "cancellations", "pauses", "drain_events", "read_energy_pj",
+    "write_energy_pj", "avg_read_queue_depth", "avg_write_queue_depth",
+    "blocks_per_bank", "leveling_efficiency",
+]
+
+
+def result_to_dict(result: RunResult) -> dict:
+    data = {name: getattr(result, name) for name in _SCALAR_FIELDS}
+    data["bank_utilizations"] = list(result.bank_utilizations)
+    data["wear_records"] = [
+        {
+            "normal": record.normal_writes,
+            "slow": {str(k): v for k, v in record.slow_writes_by_factor.items()},
+        }
+        for record in result.wear_records
+    ]
+    return data
+
+
+def result_from_dict(data: dict) -> RunResult:
+    bank_utilizations = data.pop("bank_utilizations", [])
+    records = []
+    for item in data.pop("wear_records"):
+        record = BankWearRecord(normal_writes=item["normal"])
+        record.slow_writes_by_factor = {
+            float(k): v for k, v in item["slow"].items()
+        }
+        records.append(record)
+    result = RunResult(**data)
+    result.wear_records = records
+    result.bank_utilizations = bank_utilizations
+    return result
+
+
+def scale_factor() -> float:
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def selected_workloads(default: Optional[Sequence[str]] = None) -> List[str]:
+    env = os.environ.get("REPRO_WORKLOADS")
+    if env:
+        names = [n.strip() for n in env.split(",") if n.strip()]
+        unknown = set(names) - set(WORKLOAD_NAMES)
+        if unknown:
+            raise ValueError(f"unknown workloads in REPRO_WORKLOADS: {unknown}")
+        return names
+    return list(default if default is not None else WORKLOAD_NAMES)
+
+
+class Runner:
+    """Runs configs through the simulator with memo + disk caching."""
+
+    def __init__(self, cache_dir: Optional[Path] = None) -> None:
+        if cache_dir is None:
+            cache_dir = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+        self.cache_dir = cache_dir
+        self.disk_cache = os.environ.get("REPRO_NO_CACHE", "0") != "1"
+        self._memo: Dict[tuple, RunResult] = {}
+        self.simulated = 0
+        self.cache_hits = 0
+
+    def _path_for(self, config: SimConfig) -> Path:
+        key = repr(config.cache_key()).encode()
+        digest = hashlib.sha256(key).hexdigest()[:24]
+        return self.cache_dir / f"{digest}.json"
+
+    def run(self, config: SimConfig) -> RunResult:
+        key = config.cache_key()
+        if key in self._memo:
+            self.cache_hits += 1
+            return self._memo[key]
+        if self.disk_cache:
+            path = self._path_for(config)
+            if path.exists():
+                try:
+                    result = result_from_dict(json.loads(path.read_text()))
+                    self._memo[key] = result
+                    self.cache_hits += 1
+                    return result
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    path.unlink()   # stale/corrupt entry; re-simulate
+        result = run_simulation(config)
+        self.simulated += 1
+        self._memo[key] = result
+        if self.disk_cache:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self._path_for(config).write_text(
+                json.dumps(result_to_dict(result))
+            )
+        return result
+
+    def scaled(self, config: SimConfig) -> RunResult:
+        """Run with window lengths scaled by REPRO_SCALE."""
+        factor = scale_factor()
+        if factor != 1.0:
+            config = config.scaled(factor)
+        return self.run(config)
+
+    def sweep(self, configs: Iterable[SimConfig]) -> List[RunResult]:
+        return [self.scaled(c) for c in configs]
+
+
+_default_runner: Optional[Runner] = None
+
+
+def default_runner() -> Runner:
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = Runner()
+    return _default_runner

@@ -1,0 +1,2 @@
+"""NVMain-equivalent memory substrate: controller, banks, queues,
+timing (Table II), plus the DRAM write-buffer baseline."""

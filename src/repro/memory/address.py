@@ -1,0 +1,82 @@
+"""Physical address mapping: block address -> (rank, bank, row).
+
+We use cacheline-granularity bank interleaving (consecutive 64 B blocks go to
+consecutive banks), the layout that maximises the bank-level parallelism the
+paper's mechanisms depend on (Section VI-H).  Within a bank, 16 consecutive
+bank-local blocks share one 1 KB row buffer, so streaming workloads see open
+rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import params
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Maps global cacheline block indices onto memory geometry.
+
+    Attributes:
+        num_banks: total banks in the system.
+        num_ranks: ranks the banks are distributed over.
+        blocks_per_row: cachelines sharing one row buffer (1 KB / 64 B = 16).
+        blocks_per_bank: bank capacity in cachelines.
+    """
+
+    num_banks: int = params.DEFAULT_BANKS
+    num_ranks: int = params.DEFAULT_RANKS
+    blocks_per_row: int = params.ROW_BUFFER_BYTES // params.CACHELINE_BYTES
+    capacity_bytes: int = params.MEMORY_CAPACITY_BYTES
+
+    def __post_init__(self) -> None:
+        if self.num_banks < 1 or self.num_ranks < 1:
+            raise ValueError("need at least one bank and one rank")
+        if self.num_banks % self.num_ranks:
+            raise ValueError("banks must divide evenly across ranks")
+        if self.blocks_per_row < 1:
+            raise ValueError("blocks_per_row must be >= 1")
+
+    @property
+    def banks_per_rank(self) -> int:
+        return self.num_banks // self.num_ranks
+
+    @property
+    def blocks_per_bank(self) -> int:
+        return self.capacity_bytes // params.CACHELINE_BYTES // self.num_banks
+
+    def bank_of(self, block: int) -> int:
+        """Bank owning a global block index."""
+        return block % self.num_banks
+
+    def rank_of_bank(self, bank: int) -> int:
+        return bank // self.banks_per_rank
+
+    def rank_of(self, block: int) -> int:
+        return self.rank_of_bank(self.bank_of(block))
+
+    def bank_local_block(self, block: int) -> int:
+        """Index of the block within its bank."""
+        return block // self.num_banks
+
+    def row_of(self, block: int) -> int:
+        """Row-buffer row the block belongs to (within its bank)."""
+        return self.bank_local_block(block) // self.blocks_per_row
+
+    def decode(self, block: int):
+        """(rank, bank, row, bank_local_block) for a global block index."""
+        bank = self.bank_of(block)
+        local = self.bank_local_block(block)
+        return (
+            self.rank_of_bank(bank),
+            bank,
+            local // self.blocks_per_row,
+            local,
+        )
+
+    def encode(self, bank: int, local_block: int) -> int:
+        """Inverse of (bank_of, bank_local_block)."""
+        if not 0 <= bank < self.num_banks:
+            raise IndexError(f"bank {bank} out of range")
+        return local_block * self.num_banks + bank

@@ -1,0 +1,70 @@
+"""Bank state machine: row buffer, busy tracking, in-flight operation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.memory.queues import Request
+
+
+@dataclass
+class InFlight:
+    """The operation a bank is currently executing."""
+
+    request: Request
+    start_ns: float
+    finish_ns: float
+    pulse_start_ns: float   # when cell stress begins (after the data burst)
+    cancellable: bool
+    resumed_progress_ns: float = 0.0   # pulse time done in prior attempts
+
+
+class Bank:
+    """One memory bank with an open-page 1 KB row buffer.
+
+    Writes are write-through: they never load the row buffer, and a write to
+    the currently open row leaves the buffer open (the device updates it in
+    place).  Reads open rows.
+    """
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.open_row: Optional[int] = None
+        self.busy_until: float = 0.0
+        self.in_flight: Optional[InFlight] = None
+        self.busy_time_ns: float = 0.0   # accumulated for utilization stats
+
+    def is_idle(self, now: float) -> bool:
+        return now >= self.busy_until
+
+    def row_hit(self, row: int) -> bool:
+        return self.open_row == row
+
+    def begin(self, op: InFlight) -> None:
+        """Start an operation; the bank is busy until ``op.finish_ns``."""
+        if op.finish_ns < op.start_ns:
+            raise ValueError("operation finishes before it starts")
+        self.in_flight = op
+        self.busy_until = op.finish_ns
+        self.busy_time_ns += op.finish_ns - op.start_ns
+
+    def complete(self) -> None:
+        """Mark the in-flight operation finished."""
+        self.in_flight = None
+
+    def cancel(self, now: float) -> InFlight:
+        """Abort the in-flight operation at ``now``; returns it.
+
+        The busy-time accumulator is trimmed back to the actual time spent.
+        """
+        op = self.in_flight
+        if op is None:
+            raise RuntimeError(f"bank {self.index} has nothing to cancel")
+        self.busy_time_ns -= max(0.0, op.finish_ns - now)
+        self.busy_until = now
+        self.in_flight = None
+        return op
+
+    def open_row_for(self, row: int) -> None:
+        self.open_row = row

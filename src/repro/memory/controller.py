@@ -1,0 +1,492 @@
+"""Event-driven memory controller (the NVMain-equivalent substrate).
+
+Scheduling rules (Sections IV and V, Table II):
+
+* Per idle bank, reads issue before writes; writes issue opportunistically
+  when their bank has no queued read; eager requests issue only when their
+  bank has neither queued reads nor queued writes.
+* When the write queue fills to ``drain_high`` the controller enters *write
+  drain* mode and prioritises writes over reads (per bank) until occupancy
+  falls to ``drain_low``.
+* A read arriving for a bank that is currently executing a *cancellable*
+  write cancels it (write cancellation, Qureshi et al.); the victim write
+  returns to the head of its queue and its partial cell stress is recorded
+  as fractional wear.
+* Write speed (normal vs slow) is chosen at issue time by the Figure-9
+  decision tree (:mod:`repro.core.decision`).
+* One shared 64-bit data bus serialises all data bursts (20 ns per line).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro import params
+from repro.core.decision import choose_write_factor
+from repro.core.policies import WritePolicy
+from repro.core.wear_quota import WearQuota
+from repro.endurance.wear import WearTracker
+from repro.memory.address import AddressMap
+from repro.memory.bank import Bank, InFlight
+from repro.memory.queues import EAGER, READ, WRITE, Request, RequestQueue
+from repro.memory.rank import RankFawLimiter
+from repro.memory.timing import MemoryTiming
+from repro.sim.events import EventQueue
+
+
+class ControllerStats:
+    """Raw counters accumulated by the controller."""
+
+    def __init__(self) -> None:
+        self.reads_from_llc = 0
+        self.writes_from_llc = 0
+        self.eager_from_llc = 0
+        self.reads_issued = 0
+        self.read_row_hits = 0
+        self.read_row_misses = 0
+        self.writes_issued_normal = 0
+        self.writes_issued_slow = 0
+        self.eager_issued = 0            # subset of writes_issued_slow/normal
+        self.writes_completed = 0
+        self.reads_completed = 0
+        self.cancellations = 0
+        self.pauses = 0
+        self.drain_events = 0
+        self.drain_time_ns = 0.0
+        self.read_latency_sum_ns = 0.0
+
+    @property
+    def writes_issued_total(self) -> int:
+        return self.writes_issued_normal + self.writes_issued_slow
+
+    @property
+    def requests_issued_total(self) -> int:
+        return self.reads_issued + self.writes_issued_total
+
+    @property
+    def avg_read_latency_ns(self) -> float:
+        if self.reads_completed == 0:
+            return 0.0
+        return self.read_latency_sum_ns / self.reads_completed
+
+    def reset(self) -> None:
+        self.__init__()
+
+
+class MemoryController:
+    """ReRAM memory controller with Mellow Writes support."""
+
+    def __init__(
+        self,
+        events: EventQueue,
+        policy: WritePolicy,
+        address_map: Optional[AddressMap] = None,
+        timing: Optional[MemoryTiming] = None,
+        wear: Optional[WearTracker] = None,
+        quota: Optional[WearQuota] = None,
+        read_queue_entries: int = params.READ_QUEUE_ENTRIES,
+        write_queue_entries: int = params.WRITE_QUEUE_ENTRIES,
+        eager_queue_entries: int = params.EAGER_QUEUE_ENTRIES,
+        drain_low: int = params.WRITE_DRAIN_LOW,
+        drain_high: int = params.WRITE_DRAIN_HIGH,
+        wear_scaler=None,
+        cancel_threshold: float = 0.5,
+        page_policy: str = "open",
+        read_scheduler: str = "fcfs",
+    ) -> None:
+        self.events = events
+        self.policy = policy
+        self.amap = address_map if address_map is not None else AddressMap()
+        self.timing = (
+            timing
+            if timing is not None
+            else MemoryTiming(slow_factor=policy.slow_factor)
+        )
+        self.wear = (
+            wear
+            if wear is not None
+            else WearTracker(self.amap.num_banks, self.amap.blocks_per_bank)
+        )
+        self.quota = quota
+        if policy.wear_quota and quota is None:
+            raise ValueError("policy requires Wear Quota but none supplied")
+        if not 0 < drain_low <= drain_high <= write_queue_entries:
+            raise ValueError("need 0 < drain_low <= drain_high <= capacity")
+
+        clock = lambda: self.events.now
+        self.read_q = RequestQueue(read_queue_entries, "read", clock=clock)
+        self.write_q = RequestQueue(write_queue_entries, "write", clock=clock)
+        self.eager_q = RequestQueue(eager_queue_entries, "eager", clock=clock)
+        self.drain_low = drain_low
+        self.drain_high = drain_high
+        if not 0.0 <= cancel_threshold <= 1.0:
+            raise ValueError("cancel_threshold must be in [0, 1]")
+        # Threshold-based cancellation (Qureshi et al., HPCA 2010): a write
+        # whose programming pulse has progressed beyond this fraction is
+        # allowed to finish - aborting it would waste nearly a whole pulse
+        # of cell stress and re-pay the full write later.
+        self.cancel_threshold = cancel_threshold
+        if page_policy not in ("open", "closed"):
+            raise ValueError("page_policy must be 'open' or 'closed'")
+        # Table II uses open-page; closed-page (precharge after every
+        # access) is provided for sensitivity studies.
+        self.page_policy = page_policy
+        if read_scheduler not in ("fcfs", "frfcfs"):
+            raise ValueError("read_scheduler must be 'fcfs' or 'frfcfs'")
+        # Per-bank read selection: plain FCFS, or FR-FCFS (row hits first).
+        self.read_scheduler = read_scheduler
+
+        self.banks: List[Bank] = [Bank(i) for i in range(self.amap.num_banks)]
+        self.faw: List[RankFawLimiter] = [
+            RankFawLimiter(self.timing.t_faw_ns, self.timing.t_faw_activates)
+            for _ in range(self.amap.num_ranks)
+        ]
+        self.bus_free_ns = 0.0
+        self.drain_mode = False
+        self._drain_started_ns = 0.0
+        self.stats = ControllerStats()
+        # Optional per-write damage multiplier in (0, 1]; Flip-N-Write uses
+        # it to model the fraction of cells actually programmed.
+        self.wear_scaler = wear_scaler
+        self._write_space_waiters: List[Callable[[], None]] = []
+        self._read_space_waiters: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Submission API (called by the LLC / CPU side)
+    # ------------------------------------------------------------------
+
+    def _make_request(self, kind: str, block: int,
+                      callback: Optional[Callable[[float], None]]) -> Request:
+        rank, bank, row, _ = self.amap.decode(block)
+        return Request(
+            kind=kind, block=block, bank=bank, rank=rank, row=row,
+            arrival_ns=self.events.now, callback=callback,
+        )
+
+    def submit_read(self, block: int,
+                    callback: Optional[Callable[[float], None]] = None) -> bool:
+        """Enqueue a demand read; returns False if the read queue is full."""
+        if self.read_q.full:
+            return False
+        request = self._make_request(READ, block, callback)
+        self.read_q.push(request)
+        self.stats.reads_from_llc += 1
+        self._maybe_cancel_for_read(request.bank)
+        self._try_issue_bank(request.bank)
+        return True
+
+    def submit_write(self, block: int,
+                     callback: Optional[Callable[[float], None]] = None) -> bool:
+        """Enqueue a writeback; returns False if the write queue is full."""
+        if self.write_q.full:
+            return False
+        request = self._make_request(WRITE, block, callback)
+        self.write_q.push(request)
+        self.stats.writes_from_llc += 1
+        if not self.drain_mode and len(self.write_q) >= self.drain_high:
+            self._enter_drain()
+        else:
+            self._try_issue_bank(request.bank)
+        return True
+
+    def submit_eager(self, block: int,
+                     callback: Optional[Callable[[float], None]] = None) -> bool:
+        """Enqueue an eager mellow writeback; False if its queue is full."""
+        if self.eager_q.full:
+            return False
+        request = self._make_request(EAGER, block, callback)
+        self.eager_q.push(request)
+        self.stats.eager_from_llc += 1
+        self._try_issue_bank(request.bank)
+        return True
+
+    def wait_for_write_space(self, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once the write queue can accept a request."""
+        if not self.write_q.full:
+            callback()
+        else:
+            self._write_space_waiters.append(callback)
+
+    def wait_for_read_space(self, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once the read queue can accept a request."""
+        if not self.read_q.full:
+            callback()
+        else:
+            self._read_space_waiters.append(callback)
+
+    @property
+    def eager_queue_has_space(self) -> bool:
+        return not self.eager_q.full
+
+    # ------------------------------------------------------------------
+    # Drain mode
+    # ------------------------------------------------------------------
+
+    def _enter_drain(self) -> None:
+        self.drain_mode = True
+        self._drain_started_ns = self.events.now
+        self.stats.drain_events += 1
+        for bank in self.banks:
+            self._try_issue_bank(bank.index)
+
+    def _maybe_exit_drain(self) -> None:
+        if self.drain_mode and len(self.write_q) <= self.drain_low:
+            self.drain_mode = False
+            self.stats.drain_time_ns += self.events.now - self._drain_started_ns
+            for bank in self.banks:
+                self._try_issue_bank(bank.index)
+
+    # ------------------------------------------------------------------
+    # Write cancellation
+    # ------------------------------------------------------------------
+
+    def _maybe_cancel_for_read(self, bank_index: int) -> None:
+        """Cancel a cancellable in-flight write when a read arrives."""
+        if self.drain_mode:
+            return
+        bank = self.banks[bank_index]
+        op = bank.in_flight
+        now = self.events.now
+        if op is None or bank.is_idle(now) or not op.cancellable:
+            return
+        pulse_ns = self.timing.write_pulse_ns_for(op.request.speed_factor)
+        elapsed = min(pulse_ns, max(0.0, now - op.pulse_start_ns))
+        fraction = elapsed / pulse_ns
+        pausing = self.policy.pausing
+        if not pausing and fraction >= self.cancel_threshold:
+            return  # too far along; cancelling would waste a near-full pulse
+        victim_queue = self.eager_q if op.request.kind == EAGER else self.write_q
+        if victim_queue.full:
+            return  # nowhere to put the victim; let the write finish
+        bank.cancel(now)
+        # Partial cell stress: fraction of the programming pulse completed.
+        if fraction > 0.0:
+            self._record_wear(op.request, fraction)
+        if pausing:
+            # Write pausing keeps the completed pulse time; the eventual
+            # resume only pays (and only wears) the remainder.
+            self.stats.pauses += 1
+            op.request.progress_ns = op.resumed_progress_ns + elapsed
+        else:
+            self.stats.cancellations += 1
+            op.request.progress_ns = 0.0
+        victim_queue.push_front(op.request)
+        # tiny turnaround penalty before the bank can accept the read
+        bank.busy_until = now + self.timing.cancel_penalty_ns
+        self.events.schedule(
+            bank.busy_until, lambda b=bank.index: self._try_issue_bank(b),
+        )
+
+    # ------------------------------------------------------------------
+    # Issue logic
+    # ------------------------------------------------------------------
+
+    def _try_issue_bank(self, bank_index: int) -> None:
+        bank = self.banks[bank_index]
+        now = self.events.now
+        # A bank is free only when no operation object is outstanding AND
+        # any cancel-penalty window has elapsed.  Checking busy_until alone
+        # is not enough: at the exact finish time another event can run
+        # before the completion event, and issuing then would overwrite the
+        # in-flight operation and lose its completion callback.
+        if bank.in_flight is not None or not bank.is_idle(now):
+            return
+        request = self._select_request(bank_index)
+        if request is None:
+            return
+        if request.kind == READ:
+            self._issue_read(bank, request)
+        else:
+            self._issue_write(bank, request)
+
+    def _select_request(self, bank_index: int) -> Optional[Request]:
+        reads = self.read_q.count_bank(bank_index)
+        writes = self.write_q.count_bank(bank_index)
+        if self.drain_mode:
+            # Write drain stalls reads system-wide until the queue empties
+            # to drain_low - this global turnaround is what makes drains
+            # "an expensive memory operation" (Section VI-C).
+            if writes:
+                return self.write_q.pop_bank(bank_index)
+            return None
+        if reads:
+            if self.read_scheduler == "frfcfs":
+                return self.read_q.pop_bank_row_first(
+                    bank_index, self.banks[bank_index].open_row,
+                )
+            return self.read_q.pop_bank(bank_index)
+        if writes:
+            return self.write_q.pop_bank(bank_index)
+        if self.eager_q.count_bank(bank_index):
+            return self.eager_q.pop_bank(bank_index)
+        return None
+
+    def _reserve_bus(self, earliest_ns: float) -> float:
+        """Reserve the shared data bus; returns the burst start time."""
+        start = max(earliest_ns, self.bus_free_ns)
+        self.bus_free_ns = start + self.timing.burst_ns
+        return start
+
+    def _issue_read(self, bank: Bank, request: Request) -> None:
+        now = self.events.now
+        row_hit = bank.row_hit(request.row)
+        ready = now
+        if not row_hit:
+            limiter = self.faw[self.amap.rank_of_bank(bank.index)]
+            act_start = limiter.earliest_activate(now)
+            limiter.record_activate(act_start)
+            ready = act_start + self.timing.t_rcd_ns
+            bank.open_row_for(request.row)
+            self.stats.read_row_misses += 1
+        else:
+            self.stats.read_row_hits += 1
+        data_start = self._reserve_bus(ready + self.timing.t_cas_ns)
+        finish = data_start + self.timing.burst_ns
+        request.attempts += 1
+        self.stats.reads_issued += 1
+        op = InFlight(
+            request=request, start_ns=now, finish_ns=finish,
+            pulse_start_ns=finish, cancellable=False,
+        )
+        bank.begin(op)
+        self._notify_read_space()
+        self.events.schedule(finish, lambda: self._complete_read(bank, op))
+
+    def _issue_write(self, bank: Bank, request: Request) -> None:
+        now = self.events.now
+        if request.progress_ns > 0.0:
+            # Resuming a paused write: the pulse speed is committed; only
+            # the remaining pulse time is paid.
+            factor = request.speed_factor
+        else:
+            factor = choose_write_factor(
+                self.policy,
+                kind=request.kind,
+                other_writes_for_bank=self.write_q.count_bank(bank.index),
+                reads_for_bank=self.read_q.count_bank(bank.index),
+                quota_exceeded=(
+                    self.quota.is_slow_only(bank.index) if self.quota else False
+                ),
+            )
+            request.speed_factor = factor
+        slow = request.slow
+        request.attempts += 1
+        data_start = self._reserve_bus(now)
+        pulse_start = data_start + self.timing.burst_ns
+        full_pulse = self.timing.write_pulse_ns_for(factor)
+        remaining = max(0.0, full_pulse - request.progress_ns)
+        finish = pulse_start + remaining
+        if slow:
+            self.stats.writes_issued_slow += 1
+        else:
+            self.stats.writes_issued_normal += 1
+        if request.kind == EAGER:
+            self.stats.eager_issued += 1
+        op = InFlight(
+            request=request, start_ns=now, finish_ns=finish,
+            pulse_start_ns=pulse_start,
+            cancellable=self.policy.cancellable(slow),
+            resumed_progress_ns=request.progress_ns,
+        )
+        bank.begin(op)
+        if request.kind == WRITE:
+            self._notify_write_space()
+            self._maybe_exit_drain()
+        self.events.schedule(finish, lambda: self._complete_write(bank, op))
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+
+    def _complete_read(self, bank: Bank, op: InFlight) -> None:
+        if bank.in_flight is not op:
+            # Stale completion for a cancelled/replaced operation; the bank
+            # may still be idle with queued work, so poke it.
+            self._try_issue_bank(bank.index)
+            return
+        request = op.request
+        bank.complete()
+        if self.page_policy == "closed":
+            bank.open_row = None
+        now = self.events.now
+        self.stats.reads_completed += 1
+        self.stats.read_latency_sum_ns += now - request.arrival_ns
+        if request.callback is not None:
+            request.callback(now)
+        self._try_issue_bank(bank.index)
+
+    def _complete_write(self, bank: Bank, op: InFlight) -> None:
+        if bank.in_flight is not op:
+            # The write was cancelled; a fresh issue will complete it.  The
+            # bank may be idle with queued work, so poke it.
+            self._try_issue_bank(bank.index)
+            return
+        request = op.request
+        bank.complete()
+        self.stats.writes_completed += 1
+        full_pulse = self.timing.write_pulse_ns_for(request.speed_factor)
+        executed_fraction = 1.0
+        if op.resumed_progress_ns > 0.0 and full_pulse > 0.0:
+            # A resumed write already deposited wear for its paused
+            # portions; charge only the remainder executed this attempt.
+            executed_fraction = max(
+                0.0, 1.0 - op.resumed_progress_ns / full_pulse,
+            )
+        self._record_wear(request, executed_fraction)
+        if request.callback is not None:
+            request.callback(self.events.now)
+        self._try_issue_bank(bank.index)
+
+    def _record_wear(self, request: Request, fraction: float) -> None:
+        factor = request.speed_factor
+        if self.wear_scaler is not None:
+            fraction *= self.wear_scaler()
+        local = self.amap.bank_local_block(request.block)
+        self.wear.record_write(
+            request.bank, factor, block=local, fraction=fraction,
+        )
+        if self.quota is not None:
+            damage = self.wear.model.damage_per_write(factor) * fraction
+            self.quota.record_wear(request.bank, damage)
+
+    def _notify_write_space(self) -> None:
+        while self._write_space_waiters and not self.write_q.full:
+            self._write_space_waiters.pop(0)()
+
+    def _notify_read_space(self) -> None:
+        while self._read_space_waiters and not self.read_q.full:
+            self._read_space_waiters.pop(0)()
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+
+    def bank_utilization(self, window_ns: float) -> float:
+        """Mean fraction of time banks were busy over ``window_ns``."""
+        if window_ns <= 0:
+            return 0.0
+        busy = sum(b.busy_time_ns for b in self.banks)
+        return busy / (window_ns * len(self.banks))
+
+    def drain_fraction(self, window_ns: float) -> float:
+        """Fraction of time spent in write-drain mode over ``window_ns``."""
+        if window_ns <= 0:
+            return 0.0
+        total = self.stats.drain_time_ns
+        if self.drain_mode:
+            total += self.events.now - self._drain_started_ns
+        return total / window_ns
+
+    def reset_statistics(self) -> None:
+        """Clear stats and utilization counters (end of warmup)."""
+        self.stats.reset()
+        for bank in self.banks:
+            # Charge only the remaining busy time to the new window.
+            if bank.in_flight is not None:
+                bank.busy_time_ns = max(0.0, bank.in_flight.finish_ns - self.events.now)
+            else:
+                bank.busy_time_ns = 0.0
+        if self.drain_mode:
+            self._drain_started_ns = self.events.now
+        for queue in (self.read_q, self.write_q, self.eager_q):
+            queue.reset_depth_statistics()

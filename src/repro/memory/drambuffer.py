@@ -1,0 +1,87 @@
+"""DRAM write buffer: the classic wear-limiting baseline (Section VII).
+
+Qureshi et al. (ISCA 2009) put a small DRAM buffer in front of a PCM main
+memory; among its jobs is *write coalescing* - repeated writebacks to the
+same line merge in DRAM and reach the resistive array only once, reducing
+the number (not the damage) of resistive writes.  The paper classifies
+this with Flip-N-Write as a *physical* technique orthogonal to Mellow
+Writes, so the reproduction includes it as a composable baseline.
+
+Model: a fully-associative LRU buffer of ``entries`` cachelines sitting
+between the LLC's writebacks and the memory controller's write queue.
+
+* a writeback that hits the buffer coalesces (no resistive write);
+* a miss allocates; if the buffer is full the LRU entry drains to the
+  resistive memory (that drain is the write the controller sees).
+
+DRAM access latency (~tens of ns) is negligible next to the 150-450 ns
+resistive write pulses and is folded into zero time; the buffer's effect
+is on *which* and *how many* writes reach the array.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class DramBufferStats:
+    writebacks_in: int = 0
+    coalesced: int = 0
+    drains_out: int = 0
+
+    @property
+    def coalesce_rate(self) -> float:
+        if self.writebacks_in == 0:
+            return 0.0
+        return self.coalesced / self.writebacks_in
+
+
+class DramWriteBuffer:
+    """Fully-associative LRU write-coalescing buffer."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("entries must be >= 1")
+        self.entries = entries
+        self._lines: "OrderedDict[int, None]" = OrderedDict()
+        self.stats = DramBufferStats()
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    @property
+    def full(self) -> bool:
+        return len(self._lines) >= self.entries
+
+    def insert(self, block: int) -> Optional[int]:
+        """Buffer a writeback; returns a drained block when one spills.
+
+        A hit coalesces (the newer data overwrites the buffered copy) and
+        refreshes recency.  A miss on a full buffer evicts the LRU entry,
+        which must now be written to the resistive array.
+        """
+        self.stats.writebacks_in += 1
+        if block in self._lines:
+            self._lines.move_to_end(block)
+            self.stats.coalesced += 1
+            return None
+        drained = None
+        if self.full:
+            drained, _ = self._lines.popitem(last=False)
+            self.stats.drains_out += 1
+        self._lines[block] = None
+        return drained
+
+    def drain_one(self) -> Optional[int]:
+        """Force out the LRU entry (used at end-of-run flushes)."""
+        if not self._lines:
+            return None
+        block, _ = self._lines.popitem(last=False)
+        self.stats.drains_out += 1
+        return block
+
+    def contains(self, block: int) -> bool:
+        return block in self._lines

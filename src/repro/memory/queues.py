@@ -1,0 +1,175 @@
+"""Memory-controller request queues (Table II).
+
+Three queues with strictly decreasing priority:
+
+* ReadQueue   - 32 entries, highest priority;
+* WriteQueue  - 32 entries, middle priority, drain thresholds 16 (low) /
+  32 (high);
+* EagerMellowQueue - 16 entries, lowest priority, never triggers drains and
+  only ever issues slow writes.
+
+Each queue keeps a per-bank FIFO index so the controller can ask, per idle
+bank, for the oldest request targeting it, and for bank occupancy counts
+(the Bank-Aware decision needs "how many writes are queued for this bank?").
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Optional
+
+READ = "read"
+WRITE = "write"
+EAGER = "eager"
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class Request:
+    """One memory request as seen by the controller.
+
+    Attributes:
+        kind: READ, WRITE or EAGER.
+        block: global cacheline block index.
+        bank / rank / row: decoded location.
+        arrival_ns: when the request entered the controller.
+        callback: invoked with the completion time (reads and writes alike).
+        attempts: times the request has been issued to a bank (cancellations
+            re-issue, so attempts can exceed 1).
+        slow: write speed chosen at issue time (meaningless for reads).
+    """
+
+    kind: str
+    block: int
+    bank: int
+    rank: int
+    row: int
+    arrival_ns: float
+    callback: Optional[Callable[[float], None]] = None
+    attempts: int = 0
+    speed_factor: float = 1.0
+    progress_ns: float = 0.0    # completed pulse time (write pausing)
+    req_id: int = field(default_factory=lambda: next(_request_ids))
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind != READ
+
+    @property
+    def slow(self) -> bool:
+        """Whether the write was issued below normal speed."""
+        return self.speed_factor > 1.0
+
+
+class RequestQueue:
+    """Bounded FIFO with a per-bank view.
+
+    When constructed with a ``clock`` callable (returning the current
+    simulation time), the queue integrates its occupancy over time so the
+    controller can report time-weighted average queue depth.
+    """
+
+    def __init__(self, capacity: int, name: str, clock=None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._per_bank: Dict[int, Deque[Request]] = {}
+        self._size = 0
+        self._clock = clock
+        self._occupancy_integral = 0.0
+        self._last_change_ns = 0.0
+
+    def _integrate(self) -> None:
+        if self._clock is None:
+            return
+        now = self._clock()
+        self._occupancy_integral += self._size * (now - self._last_change_ns)
+        self._last_change_ns = now
+
+    def average_depth(self, window_ns: float) -> float:
+        """Time-weighted mean occupancy over ``window_ns``."""
+        if window_ns <= 0:
+            return 0.0
+        self._integrate()
+        return self._occupancy_integral / window_ns
+
+    def reset_depth_statistics(self) -> None:
+        if self._clock is not None:
+            self._last_change_ns = self._clock()
+        self._occupancy_integral = 0.0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        return self._size >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return self._size == 0
+
+    def push(self, request: Request) -> None:
+        """Append a request; raises if the queue is full."""
+        if self.full:
+            raise OverflowError(f"{self.name} queue overflow")
+        self._integrate()
+        self._per_bank.setdefault(request.bank, deque()).append(request)
+        self._size += 1
+
+    def push_front(self, request: Request) -> None:
+        """Return a cancelled request to the head of its bank's FIFO."""
+        if self.full:
+            raise OverflowError(f"{self.name} queue overflow")
+        self._integrate()
+        self._per_bank.setdefault(request.bank, deque()).appendleft(request)
+        self._size += 1
+
+    def peek_bank(self, bank: int) -> Optional[Request]:
+        """Oldest request for ``bank`` without removing it."""
+        per_bank = self._per_bank.get(bank)
+        if per_bank:
+            return per_bank[0]
+        return None
+
+    def pop_bank_row_first(self, bank: int, open_row: Optional[int]) -> Request:
+        """Remove the oldest row-hit request for ``bank``, else the oldest.
+
+        This is the FR-FCFS (first-ready, first-come-first-served)
+        selection rule: requests to the currently open row bypass older
+        row-miss requests, trading fairness for row-buffer locality.
+        """
+        per_bank = self._per_bank.get(bank)
+        if not per_bank:
+            raise LookupError(f"no {self.name} request for bank {bank}")
+        self._integrate()
+        if open_row is not None:
+            for index, request in enumerate(per_bank):
+                if request.row == open_row:
+                    del per_bank[index]
+                    self._size -= 1
+                    return request
+        self._size -= 1
+        return per_bank.popleft()
+
+    def pop_bank(self, bank: int) -> Request:
+        """Remove and return the oldest request for ``bank``."""
+        per_bank = self._per_bank.get(bank)
+        if not per_bank:
+            raise LookupError(f"no {self.name} request for bank {bank}")
+        self._integrate()
+        self._size -= 1
+        return per_bank.popleft()
+
+    def count_bank(self, bank: int) -> int:
+        """Number of queued requests targeting ``bank``."""
+        per_bank = self._per_bank.get(bank)
+        return len(per_bank) if per_bank else 0
+
+    def banks_with_requests(self):
+        """Banks that currently have at least one queued request."""
+        return [bank for bank, dq in self._per_bank.items() if dq]

@@ -1,0 +1,46 @@
+"""Rank-level tFAW activation limiter.
+
+At most ``t_faw_activates`` row activations may start within any sliding
+``t_faw_ns`` window per rank.  ``earliest_activate`` answers when the next
+activation may begin; ``record_activate`` logs one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro import params
+
+
+class RankFawLimiter:
+    def __init__(
+        self,
+        t_faw_ns: float = params.T_FAW_NS,
+        max_activates: int = params.T_FAW_ACTIVATES,
+    ) -> None:
+        if max_activates < 1:
+            raise ValueError("max_activates must be >= 1")
+        if t_faw_ns <= 0:
+            raise ValueError("t_faw_ns must be positive")
+        self.t_faw_ns = t_faw_ns
+        self.max_activates = max_activates
+        self._recent: Deque[float] = deque()
+
+    def _prune(self, now: float) -> None:
+        while self._recent and self._recent[0] <= now - self.t_faw_ns:
+            self._recent.popleft()
+
+    def earliest_activate(self, now: float) -> float:
+        """Earliest time >= now at which a new activation may start."""
+        self._prune(now)
+        if len(self._recent) < self.max_activates:
+            return now
+        # The oldest tracked activation leaves the window at +t_faw.
+        return self._recent[0] + self.t_faw_ns
+
+    def record_activate(self, time_ns: float) -> None:
+        self._prune(time_ns)
+        if len(self._recent) >= self.max_activates:
+            raise RuntimeError("tFAW violated: too many activates in window")
+        self._recent.append(time_ns)

@@ -1,0 +1,2 @@
+"""Simulation assembly: deterministic event queue, configuration,
+result records, and the top-level System."""

@@ -1,0 +1,95 @@
+"""System configuration: one object describing a complete simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from repro import params
+from repro.core.policies import WritePolicy, parse_policy
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Everything needed to reproduce one simulation run.
+
+    Attributes mirror Tables I-III; the window lengths control how many LLC
+    accesses are warmed up and measured (the stand-in for the paper's
+    6B-warmup / 2B-detail instruction windows).
+    """
+
+    workload: str
+    policy: Union[str, WritePolicy] = "Norm"
+    slow_factor: float = params.SLOW_FACTOR_DEFAULT
+    num_banks: int = params.DEFAULT_BANKS
+    num_ranks: int = params.DEFAULT_RANKS
+    expo_factor: float = params.EXPO_FACTOR_DEFAULT
+    capacity_bytes: int = params.MEMORY_CAPACITY_BYTES
+    warmup_accesses: int = 30_000
+    measure_accesses: int = 120_000
+    functional_warmup_max: int = 600_000   # untimed LLC pre-fill cap
+    functional_warmup_occupancy: float = 0.95
+    seed: int = 1
+    eager_scan_interval_ns: float = 60.0
+    sample_period_ns: float = params.PROFILE_PERIOD_NS
+    target_lifetime_years: float = params.TARGET_LIFETIME_YEARS
+    ratio_quota: float = params.RATIO_QUOTA
+    energy_cell: str = params.DEFAULT_ENERGY_CELL
+    llc_size_bytes: int = params.LLC_SIZE_BYTES
+    llc_assoc: int = params.LLC_ASSOC
+    useless_threshold: float = params.USELESS_THRESHOLD_RATIO
+    leveling_efficiency: float = params.START_GAP_EFFICIENCY
+    eager_selector: str = "stack"          # or "deadblock" (extension)
+    flip_n_write: bool = False             # Flip-N-Write wear limiting
+    cancel_threshold: float = 0.5          # no cancel beyond this progress
+    eager_idle_max_accesses: int = 2       # LLC-busy gate for eager scans
+    dram_buffer_entries: int = 0           # DRAM write-coalescing buffer
+    page_policy: str = "open"              # or "closed" (sensitivity knob)
+    read_scheduler: str = "fcfs"           # or "frfcfs" (row hits first)
+
+    def __post_init__(self) -> None:
+        if self.warmup_accesses < 0 or self.measure_accesses < 1:
+            raise ValueError("need warmup >= 0 and measure >= 1 accesses")
+        if self.num_banks % self.num_ranks:
+            raise ValueError("banks must divide evenly across ranks")
+
+    @property
+    def write_policy(self) -> WritePolicy:
+        if isinstance(self.policy, WritePolicy):
+            if self.policy.slow_factor != self.slow_factor:
+                return self.policy.with_slow_factor(self.slow_factor)
+            return self.policy
+        return parse_policy(self.policy, self.slow_factor)
+
+    @property
+    def policy_name(self) -> str:
+        if isinstance(self.policy, WritePolicy):
+            return self.policy.name
+        return self.policy
+
+    def scaled(self, fraction: float) -> "SimConfig":
+        """A cheaper copy with window lengths scaled by ``fraction``."""
+        if fraction <= 0:
+            raise ValueError("fraction must be positive")
+        return replace(
+            self,
+            warmup_accesses=max(1000, int(self.warmup_accesses * fraction)),
+            measure_accesses=max(2000, int(self.measure_accesses * fraction)),
+        )
+
+    def cache_key(self) -> tuple:
+        """Hashable identity for result caching."""
+        return (
+            self.workload, self.policy_name, self.slow_factor,
+            self.num_banks, self.num_ranks, self.expo_factor,
+            self.capacity_bytes, self.warmup_accesses,
+            self.measure_accesses, self.seed, self.eager_scan_interval_ns,
+            self.sample_period_ns, self.target_lifetime_years,
+            self.ratio_quota, self.energy_cell, self.llc_size_bytes,
+            self.llc_assoc, self.useless_threshold,
+            self.leveling_efficiency, self.eager_selector,
+            self.flip_n_write, self.cancel_threshold,
+            self.eager_idle_max_accesses, self.functional_warmup_max,
+            self.functional_warmup_occupancy, self.dram_buffer_entries,
+            self.page_policy, self.read_scheduler,
+        )

@@ -1,0 +1,70 @@
+"""Deterministic event queue used by the whole simulator.
+
+Events are (time_ns, sequence, callback) triples ordered first by time and
+then by insertion order, which makes simulation results independent of
+callback identity and fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+Callback = Callable[[], None]
+
+
+class EventQueue:
+    """A min-heap of timestamped callbacks with stable FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callback]] = []
+        self._seq = 0
+        self.now: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time_ns: float, callback: Callback) -> None:
+        """Schedule ``callback`` to run at absolute ``time_ns``."""
+        if time_ns < self.now:
+            raise ValueError(
+                f"cannot schedule event at {time_ns} ns before now ({self.now} ns)"
+            )
+        heapq.heappush(self._heap, (time_ns, self._seq, callback))
+        self._seq += 1
+
+    def schedule_in(self, delay_ns: float, callback: Callback) -> None:
+        """Schedule ``callback`` to run ``delay_ns`` after the current time."""
+        if delay_ns < 0:
+            raise ValueError(f"negative delay: {delay_ns}")
+        self.schedule(self.now + delay_ns, callback)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None when the queue is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop_and_run(self) -> bool:
+        """Run the earliest event.  Returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        time_ns, _, callback = heapq.heappop(self._heap)
+        self.now = time_ns
+        callback()
+        return True
+
+    def run_until(self, time_ns: float) -> None:
+        """Run every event scheduled at or before ``time_ns``."""
+        while self._heap and self._heap[0][0] <= time_ns:
+            self.pop_and_run()
+        if self.now < time_ns:
+            self.now = time_ns
+
+    def run_all(self, max_events: Optional[int] = None) -> int:
+        """Drain the queue; returns the number of events executed."""
+        count = 0
+        while self._heap:
+            if max_events is not None and count >= max_events:
+                break
+            self.pop_and_run()
+            count += 1
+        return count

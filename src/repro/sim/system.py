@@ -1,0 +1,342 @@
+"""Top-level simulated system: core + LLC + memory controller + wear.
+
+``System(config).run()`` executes one measurement window and returns a
+:class:`~repro.sim.stats.RunResult`.  The flow is the paper's: warm the LLC
+(the stand-in for the 6B-instruction warmup), reset every statistic, then
+simulate the measurement window in detail and derive IPC, lifetime,
+utilization, drain time, request breakdowns and energy.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import Optional
+
+from repro import params
+from repro.cache.llc import LastLevelCache
+from repro.core.wear_quota import WearQuota
+from repro.cpu.core import SimpleCore
+from repro.endurance.model import EnduranceModel
+from repro.endurance.flipnwrite import FlipNWrite
+from repro.endurance.wear import WearTracker
+from repro.energy.nvsim import LineEnergyModel
+from repro.memory.address import AddressMap
+from repro.memory.controller import MemoryController
+from repro.memory.drambuffer import DramWriteBuffer
+from repro.memory.timing import MemoryTiming
+from repro.sim.config import SimConfig
+from repro.sim.events import EventQueue
+from repro.sim.stats import RunResult
+from repro.workloads.profiles import get_profile
+
+
+class DeadlockError(RuntimeError):
+    """The event queue drained while the core still had work to do."""
+
+
+def _resolve_workload(name: str):
+    """A workload is either a Table IV profile or a multiprogrammed mix."""
+    try:
+        return get_profile(name)
+    except KeyError:
+        from repro.workloads.mix import get_mix
+        return get_mix(name)
+
+
+class System:
+    def __init__(self, config: SimConfig) -> None:
+        self.config = config
+        policy = config.write_policy
+        self.policy = policy
+        profile = _resolve_workload(config.workload)
+        self.profile = profile
+
+        self.events = EventQueue()
+        self.amap = AddressMap(
+            num_banks=config.num_banks,
+            num_ranks=config.num_ranks,
+            capacity_bytes=config.capacity_bytes,
+        )
+        self.timing = MemoryTiming(slow_factor=config.slow_factor)
+        self.endurance = EnduranceModel(expo_factor=config.expo_factor)
+        self.wear = WearTracker(
+            num_banks=config.num_banks,
+            blocks_per_bank=self.amap.blocks_per_bank,
+            model=self.endurance,
+            leveling_efficiency=config.leveling_efficiency,
+        )
+        self.quota: Optional[WearQuota] = None
+        if policy.wear_quota:
+            self.quota = WearQuota(
+                num_banks=config.num_banks,
+                blocks_per_bank=self.amap.blocks_per_bank,
+                target_lifetime_years=config.target_lifetime_years,
+                period_ns=config.sample_period_ns,
+                ratio_quota=config.ratio_quota,
+            )
+        self.llc = LastLevelCache(
+            size_bytes=config.llc_size_bytes,
+            assoc=config.llc_assoc,
+            threshold_ratio=config.useless_threshold,
+            sample_period_ns=config.sample_period_ns,
+            rng=random.Random(config.seed * 7919 + 13),
+            eager_selector=config.eager_selector,
+        )
+        self.flip_n_write: Optional[FlipNWrite] = None
+        if config.flip_n_write:
+            self.flip_n_write = FlipNWrite(
+                rng=random.Random(config.seed * 104729 + 7),
+            )
+        self.controller = MemoryController(
+            events=self.events,
+            policy=policy,
+            address_map=self.amap,
+            timing=self.timing,
+            wear=self.wear,
+            quota=self.quota,
+            wear_scaler=(
+                self.flip_n_write.sample_line_fraction
+                if self.flip_n_write is not None else None
+            ),
+            cancel_threshold=config.cancel_threshold,
+            page_policy=config.page_policy,
+            read_scheduler=config.read_scheduler,
+        )
+        self.dram_buffer: Optional[DramWriteBuffer] = None
+        if config.dram_buffer_entries > 0:
+            self.dram_buffer = DramWriteBuffer(config.dram_buffer_entries)
+        self._trace = profile.trace(config.seed)
+        self.core = SimpleCore(
+            events=self.events,
+            llc=self.llc,
+            controller=self.controller,
+            trace=self._trace,
+            base_cpi=profile.base_cpi,
+            on_access=self._on_access,
+            writeback_sink=(
+                self._buffered_writeback if self.dram_buffer is not None
+                else None
+            ),
+        )
+        self._measure_start_ns: Optional[float] = None
+        self._measure_end_ns: Optional[float] = None
+        self._accesses_at_last_scan = 0
+        self._done = False
+
+    # ------------------------------------------------------------------
+    # DRAM write buffer
+    # ------------------------------------------------------------------
+
+    def _buffered_writeback(self, block: int) -> bool:
+        """Route an LLC writeback through the DRAM coalescing buffer.
+
+        Hits and non-full inserts absorb instantly (DRAM latency is
+        negligible next to resistive write pulses); a full buffer drains
+        its LRU entry into the controller, which applies normal write-queue
+        backpressure.
+        """
+        buffer = self.dram_buffer
+        if buffer.contains(block) or not buffer.full:
+            buffer.insert(block)
+            return True
+        if self.controller.write_q.full:
+            return False
+        drained = buffer.insert(block)
+        self.controller.submit_write(drained)
+        return True
+
+    # ------------------------------------------------------------------
+    # Periodic machinery
+    # ------------------------------------------------------------------
+
+    def _sample_tick(self) -> None:
+        if self._done:
+            return
+        self.llc.end_sample_period()
+        if self.quota is not None:
+            self.quota.start_period()
+        self.events.schedule_in(self.config.sample_period_ns, self._sample_tick)
+
+    def _eager_tick(self) -> None:
+        if self._done:
+            return
+        # Section IV-B1: candidates are chosen on *idle* LLC cycles.  Gate
+        # the scan on recent LLC activity: a cache fielding a demand access
+        # nearly every cycle (e.g. hmmer's hot loop) has no idle slots to
+        # volunteer eager writebacks from.
+        delta = self.core.accesses_processed - self._accesses_at_last_scan
+        self._accesses_at_last_scan = self.core.accesses_processed
+        busy = delta > self.config.eager_idle_max_accesses
+        if not busy and self.controller.eager_queue_has_space:
+            block = self.llc.pick_eager_candidate()
+            if block is not None:
+                self.controller.submit_eager(block)
+        self.events.schedule_in(
+            self.config.eager_scan_interval_ns, self._eager_tick,
+        )
+
+    def _on_access(self, count: int) -> None:
+        if count == self.config.warmup_accesses and self._measure_start_ns is None:
+            self._end_warmup()
+        elif (self._measure_start_ns is not None
+              and count >= self.config.measure_accesses):
+            self._measure_end_ns = self.events.now
+            self._done = True
+
+    def _end_warmup(self) -> None:
+        self._measure_start_ns = self.events.now
+        self.llc.reset_statistics()
+        self.controller.reset_statistics()
+        self.core.mark_counters_reset()
+        for record in self.wear.records:
+            record.normal_writes = 0.0
+            record.slow_writes_by_factor.clear()
+        if self.quota is not None:
+            self.quota.reset_statistics()
+        if self.dram_buffer is not None:
+            self.dram_buffer.stats = type(self.dram_buffer.stats)()
+
+    # ------------------------------------------------------------------
+
+    def _functional_warmup(self) -> int:
+        """Pre-fill the LLC by replaying the trace without timing.
+
+        Low-MPKI workloads (hmmer) would need hundreds of thousands of
+        *timed* accesses before the LLC fills and writebacks start flowing;
+        replaying the head of the trace functionally (cache state only, no
+        memory events) gets every workload to a steady-state cache at a
+        fraction of the cost - the same trick gem5 users play with
+        functional warming.  Returns the number of accesses consumed.
+        """
+        config = self.config
+        capacity = self.llc.cache.num_sets * self.llc.cache.assoc
+        target = int(capacity * config.functional_warmup_occupancy)
+        consumed = 0
+        while consumed < config.functional_warmup_max:
+            if consumed % 8192 == 0 and self.llc.cache.occupancy() >= target:
+                # The DRAM write buffer (when present) must also reach its
+                # steady state - full - or a short measurement window would
+                # see an artificially drain-free buffer.
+                if self.dram_buffer is None or self.dram_buffer.full:
+                    break
+            record = next(self._trace, None)
+            if record is None:
+                break
+            result = self.llc.access(record.block, record.is_write)
+            # Keep the DRAM write buffer warm too: at steady state it is
+            # full, so a short measurement window must not start from an
+            # empty (drain-free) buffer.
+            if (self.dram_buffer is not None and result.victim is not None
+                    and result.victim.dirty):
+                victim_block = self.llc.cache.block_of(
+                    self.llc.cache.set_index(record.block),
+                    result.victim.tag,
+                )
+                self.dram_buffer.insert(victim_block)
+            consumed += 1
+        self.llc.reset_statistics()
+        if self.dram_buffer is not None:
+            self.dram_buffer.stats = type(self.dram_buffer.stats)()
+        return consumed
+
+    def run(self, max_events: int = 200_000_000) -> RunResult:
+        """Simulate warmup + measurement and return the results."""
+        self._functional_warmup()
+        self.core.start()
+        self.events.schedule_in(self.config.sample_period_ns, self._sample_tick)
+        if self.policy.eager:
+            self.events.schedule_in(
+                self.config.eager_scan_interval_ns, self._eager_tick,
+            )
+        if self.config.warmup_accesses == 0:
+            self._end_warmup()
+
+        executed = 0
+        while not self._done:
+            if not self.events.pop_and_run():
+                raise DeadlockError(
+                    f"event queue drained at {self.events.now} ns with "
+                    f"{self.core.accesses_processed} accesses processed"
+                )
+            executed += 1
+            if executed > max_events:
+                raise DeadlockError("event budget exhausted; likely livelock")
+        return self._collect()
+
+    # ------------------------------------------------------------------
+
+    def _collect(self) -> RunResult:
+        config = self.config
+        window = self._measure_end_ns - self._measure_start_ns
+        if window <= 0:
+            raise RuntimeError("empty measurement window")
+
+        # Trim bank busy time that extends past the end of the window.
+        bank_utilizations = []
+        for bank in self.controller.banks:
+            busy = bank.busy_time_ns
+            if bank.busy_until > self._measure_end_ns:
+                busy -= bank.busy_until - self._measure_end_ns
+            bank_utilizations.append(max(0.0, busy) / window)
+        utilization = sum(bank_utilizations) / len(bank_utilizations)
+
+        cstats = self.controller.stats
+        lstats = self.llc.stats
+        instructions = self.core.instructions_retired
+        mpki = (lstats.misses * 1000.0 / instructions) if instructions else 0.0
+
+        energy_model = LineEnergyModel.for_cell(config.energy_cell)
+        read_energy = (
+            cstats.read_row_hits * energy_model.read_energy_pj(True)
+            + cstats.read_row_misses * energy_model.read_energy_pj(False)
+        )
+        write_energy = 0.0
+        for record in self.wear.records:
+            write_energy += record.normal_writes * energy_model.write_energy_pj(False)
+            for factor, count in record.slow_writes_by_factor.items():
+                write_energy += count * energy_model.write_energy_pj_for(factor)
+
+        return RunResult(
+            workload=config.workload,
+            policy=config.policy_name,
+            slow_factor=config.slow_factor,
+            num_banks=config.num_banks,
+            expo_factor=config.expo_factor,
+            window_ns=window,
+            instructions=instructions,
+            accesses=self.core.accesses_processed,
+            ipc=self.core.ipc(window),
+            lifetime_years=self.wear.system_lifetime_years(window),
+            bank_utilization=utilization,
+            drain_fraction=self.controller.drain_fraction(window),
+            avg_read_latency_ns=cstats.avg_read_latency_ns,
+            bank_utilizations=bank_utilizations,
+            avg_read_queue_depth=self.controller.read_q.average_depth(window),
+            avg_write_queue_depth=self.controller.write_q.average_depth(window),
+            llc_misses=lstats.misses,
+            llc_hits=lstats.hits,
+            mpki=mpki,
+            writebacks=lstats.writebacks,
+            eager_writebacks=lstats.eager_writebacks,
+            wasted_eager=lstats.wasted_eager,
+            reads_issued=cstats.reads_issued,
+            read_row_hits=cstats.read_row_hits,
+            read_row_misses=cstats.read_row_misses,
+            writes_issued_normal=cstats.writes_issued_normal,
+            writes_issued_slow=cstats.writes_issued_slow,
+            eager_issued=cstats.eager_issued,
+            cancellations=cstats.cancellations,
+            pauses=cstats.pauses,
+            drain_events=cstats.drain_events,
+            read_energy_pj=read_energy,
+            write_energy_pj=write_energy,
+            wear_records=copy.deepcopy(self.wear.records),
+            blocks_per_bank=self.amap.blocks_per_bank,
+            leveling_efficiency=config.leveling_efficiency,
+        )
+
+
+def run_simulation(config: SimConfig) -> RunResult:
+    """Convenience wrapper: build a :class:`System` and run it."""
+    return System(config).run()

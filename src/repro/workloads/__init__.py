@@ -1,0 +1,2 @@
+"""Synthetic workloads: pattern building blocks, the 11 Table IV
+profiles, and multiprogrammed mixes."""

@@ -1,0 +1,101 @@
+"""Multiprogrammed workload mixes.
+
+Interleaves the traces of several profiles in proportion to their
+instruction progress, the standard way multiprogrammed SPEC mixes are
+driven through a shared LLC: at every step the component whose virtual
+instruction clock is furthest behind contributes its next access.  Each
+component's blocks are relocated to a private address range so mixes
+conflict only in the shared cache and memory system, not in the address
+space.
+
+This models the paper's single-core system running a *composite* memory
+load; it is the natural stress test for Wear Quota (two write-heavy
+phases landing on the same banks).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.cpu.trace import TraceRecord
+from repro.workloads.profiles import PROFILES, WorkloadProfile, get_profile
+
+# Relocation stride between component address spaces, in blocks (1 TiB).
+_COMPONENT_STRIDE = 1 << 34
+
+
+def mix_traces(traces: Sequence[Iterator[TraceRecord]],
+               relocate: bool = True) -> Iterator[TraceRecord]:
+    """Interleave traces by instruction progress (lazy, infinite-safe)."""
+    if not traces:
+        raise ValueError("need at least one component trace")
+    heap: List = []
+    for index, trace in enumerate(traces):
+        record = next(trace, None)
+        if record is None:
+            continue
+        heap.append((record.gap_insts, index, record, trace))
+    heapq.heapify(heap)
+    while heap:
+        clock, index, record, trace = heapq.heappop(heap)
+        block = record.block
+        if relocate:
+            block += index * _COMPONENT_STRIDE
+        yield TraceRecord(record.gap_insts, block, record.is_write,
+                          record.dependent)
+        nxt = next(trace, None)
+        if nxt is not None:
+            heapq.heappush(heap, (clock + nxt.gap_insts, index, nxt, trace))
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A named combination of built-in profiles."""
+
+    name: str
+    components: Sequence[str]
+
+    def __post_init__(self) -> None:
+        if len(self.components) < 2:
+            raise ValueError("a mix needs at least two components")
+        for component in self.components:
+            if component not in PROFILES:
+                raise KeyError(f"unknown component workload {component!r}")
+
+    @property
+    def profiles(self) -> List[WorkloadProfile]:
+        return [get_profile(name) for name in self.components]
+
+    @property
+    def base_cpi(self) -> float:
+        """Harmonically weighted base CPI of the components."""
+        cpis = [p.base_cpi for p in self.profiles]
+        return sum(cpis) / len(cpis)
+
+    def trace(self, seed: int = 1) -> Iterator[TraceRecord]:
+        return mix_traces([
+            profile.trace(seed + 1000 * i)
+            for i, profile in enumerate(self.profiles)
+        ])
+
+
+# A few representative mixes: write-heavy pair, latency+bandwidth pair,
+# and a cache-friendly/cache-hostile pair.
+MIXES = {
+    mix.name: mix
+    for mix in [
+        WorkloadMix("mix_write_heavy", ("lbm", "leslie3d")),
+        WorkloadMix("mix_lat_bw", ("mcf", "stream")),
+        WorkloadMix("mix_light_heavy", ("hmmer", "libquantum")),
+    ]
+}
+
+
+def get_mix(name: str) -> WorkloadMix:
+    try:
+        return MIXES[name]
+    except KeyError:
+        known = ", ".join(MIXES)
+        raise KeyError(f"unknown mix {name!r} (known: {known})") from None

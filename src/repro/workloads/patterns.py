@@ -1,0 +1,168 @@
+"""Access-pattern building blocks for synthetic workloads.
+
+Each pattern is a small stateful object with a ``next(rng)`` method
+returning ``(block, is_write, dependent)``.  Workload profiles
+(:mod:`repro.workloads.profiles`) compose several patterns with weights.
+
+Blocks are *global cacheline indices*; patterns operate inside a region
+``[base, base + size_blocks)`` so different components of one workload touch
+disjoint data structures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+Access = Tuple[int, bool, bool]
+
+
+class Pattern:
+    """Base class so profiles can hold heterogeneous pattern lists."""
+
+    def next(self, rng: random.Random) -> Access:
+        raise NotImplementedError
+
+
+class SequentialStream(Pattern):
+    """Sweeps a region linearly, wrapping around (STREAM-style arrays).
+
+    ``write_ratio`` of the accesses are stores (e.g. the c[] array of
+    triad).  Streams have no short-term reuse, so almost every access misses
+    the LLC, and written lines are never touched again before eviction -
+    prime Eager Mellow Writes material.
+    """
+
+    def __init__(self, base: int, size_blocks: int, write_ratio: float = 0.0,
+                 stride: int = 1) -> None:
+        if size_blocks < 1:
+            raise ValueError("size_blocks must be >= 1")
+        if not 0.0 <= write_ratio <= 1.0:
+            raise ValueError("write_ratio must be in [0, 1]")
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.base = base
+        self.size_blocks = size_blocks
+        self.write_ratio = write_ratio
+        self.stride = stride
+        self._cursor = 0
+
+    def next(self, rng: random.Random) -> Access:
+        block = self.base + self._cursor
+        self._cursor = (self._cursor + self.stride) % self.size_blocks
+        is_write = rng.random() < self.write_ratio
+        return block, is_write, False
+
+
+class RandomAccess(Pattern):
+    """Uniform random accesses over a region (GUPS-like when writing)."""
+
+    def __init__(self, base: int, size_blocks: int, write_ratio: float = 0.0,
+                 dependent: bool = False) -> None:
+        if size_blocks < 1:
+            raise ValueError("size_blocks must be >= 1")
+        self.base = base
+        self.size_blocks = size_blocks
+        self.write_ratio = write_ratio
+        self.dependent = dependent
+
+    def next(self, rng: random.Random) -> Access:
+        block = self.base + rng.randrange(self.size_blocks)
+        is_write = rng.random() < self.write_ratio
+        dependent = self.dependent and not is_write
+        return block, is_write, dependent
+
+
+class HotSet(Pattern):
+    """Skewed reuse: most accesses go to a small hot subset of the region.
+
+    Provides the LLC hits that populate low LRU stack positions, so the
+    Eager profiler sees a realistic hit-position histogram.
+    """
+
+    def __init__(self, base: int, size_blocks: int, hot_blocks: int,
+                 hot_fraction: float = 0.9, write_ratio: float = 0.0) -> None:
+        if not 0 < hot_blocks <= size_blocks:
+            raise ValueError("need 0 < hot_blocks <= size_blocks")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        self.base = base
+        self.size_blocks = size_blocks
+        self.hot_blocks = hot_blocks
+        self.hot_fraction = hot_fraction
+        self.write_ratio = write_ratio
+
+    def next(self, rng: random.Random) -> Access:
+        if rng.random() < self.hot_fraction:
+            block = self.base + rng.randrange(self.hot_blocks)
+        else:
+            block = self.base + rng.randrange(self.size_blocks)
+        is_write = rng.random() < self.write_ratio
+        return block, is_write, False
+
+
+class PointerChase(Pattern):
+    """Dependent random reads (mcf-style): every load gates progress."""
+
+    def __init__(self, base: int, size_blocks: int,
+                 write_ratio: float = 0.0) -> None:
+        if size_blocks < 1:
+            raise ValueError("size_blocks must be >= 1")
+        self.base = base
+        self.size_blocks = size_blocks
+        self.write_ratio = write_ratio
+
+    def next(self, rng: random.Random) -> Access:
+        block = self.base + rng.randrange(self.size_blocks)
+        is_write = rng.random() < self.write_ratio
+        return block, is_write, not is_write
+
+
+class ReadModifyWrite(Pattern):
+    """Random read-then-write pairs to the same block (GUPS updates)."""
+
+    def __init__(self, base: int, size_blocks: int,
+                 dependent_reads: bool = True) -> None:
+        if size_blocks < 1:
+            raise ValueError("size_blocks must be >= 1")
+        self.base = base
+        self.size_blocks = size_blocks
+        self.dependent_reads = dependent_reads
+        self._pending_write: int = -1
+
+    def next(self, rng: random.Random) -> Access:
+        if self._pending_write >= 0:
+            block = self._pending_write
+            self._pending_write = -1
+            return block, True, False
+        block = self.base + rng.randrange(self.size_blocks)
+        self._pending_write = block
+        return block, False, self.dependent_reads
+
+
+class PhasedPattern(Pattern):
+    """Alternates between two sub-patterns in long phases.
+
+    Many applications run in phases (compute-heavy then write-back-heavy);
+    Wear Quota's period accounting reacts very differently to phased and
+    steady traffic, so this wrapper exists to stress it.  The pattern
+    serves ``phase_length`` accesses from one sub-pattern, then switches.
+    """
+
+    def __init__(self, first: Pattern, second: Pattern,
+                 phase_length: int = 10_000) -> None:
+        if phase_length < 1:
+            raise ValueError("phase_length must be >= 1")
+        self.first = first
+        self.second = second
+        self.phase_length = phase_length
+        self._served = 0
+        self._in_second = False
+
+    def next(self, rng: random.Random) -> Access:
+        active = self.second if self._in_second else self.first
+        self._served += 1
+        if self._served >= self.phase_length:
+            self._served = 0
+            self._in_second = not self._in_second
+        return active.next(rng)

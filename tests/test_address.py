@@ -1,0 +1,78 @@
+"""Tests for the address map."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.address import AddressMap
+
+
+def test_default_geometry():
+    amap = AddressMap()
+    assert amap.num_banks == 16
+    assert amap.num_ranks == 4
+    assert amap.banks_per_rank == 4
+    assert amap.blocks_per_row == 16
+
+
+def test_cacheline_interleaving():
+    amap = AddressMap(num_banks=4, num_ranks=1)
+    assert [amap.bank_of(b) for b in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_bank_local_block_progression():
+    amap = AddressMap(num_banks=4, num_ranks=1)
+    # Blocks 0, 4, 8 all land in bank 0 as local blocks 0, 1, 2.
+    assert [amap.bank_local_block(b) for b in (0, 4, 8)] == [0, 1, 2]
+
+
+def test_row_changes_every_blocks_per_row_accesses_per_bank():
+    amap = AddressMap(num_banks=4, num_ranks=1)
+    rows = [amap.row_of(4 * i) for i in range(32)]   # bank 0's blocks
+    assert rows[:16] == [0] * 16
+    assert rows[16:] == [1] * 16
+
+
+def test_rank_of_bank():
+    amap = AddressMap(num_banks=16, num_ranks=4)
+    assert amap.rank_of_bank(0) == 0
+    assert amap.rank_of_bank(3) == 0
+    assert amap.rank_of_bank(4) == 1
+    assert amap.rank_of_bank(15) == 3
+
+
+def test_decode_consistency():
+    amap = AddressMap()
+    rank, bank, row, local = amap.decode(12345)
+    assert bank == amap.bank_of(12345)
+    assert rank == amap.rank_of(12345)
+    assert row == amap.row_of(12345)
+    assert local == amap.bank_local_block(12345)
+
+
+def test_banks_must_divide_over_ranks():
+    with pytest.raises(ValueError):
+        AddressMap(num_banks=6, num_ranks=4)
+
+
+def test_encode_range_check():
+    amap = AddressMap(num_banks=4, num_ranks=1)
+    with pytest.raises(IndexError):
+        amap.encode(4, 0)
+
+
+@given(block=st.integers(min_value=0, max_value=2**34))
+def test_encode_decode_roundtrip(block):
+    amap = AddressMap()
+    bank = amap.bank_of(block)
+    local = amap.bank_local_block(block)
+    assert amap.encode(bank, local) == block
+
+
+@given(block=st.integers(min_value=0, max_value=2**34))
+def test_paper_bank_options_decode(block):
+    for banks, ranks in ((4, 1), (8, 2), (16, 4)):
+        amap = AddressMap(num_banks=banks, num_ranks=ranks)
+        rank, bank, row, local = amap.decode(block)
+        assert 0 <= bank < banks
+        assert 0 <= rank < ranks
+        assert row == local // 16

@@ -1,0 +1,137 @@
+"""Tests for lifetime post-processing and report formatting."""
+
+import math
+
+import pytest
+
+from repro.analysis.lifetime import (
+    best_static_policy,
+    capped,
+    geomean,
+    lifetime_sweep,
+    meets_lifetime_target,
+    relative_ipcs,
+    relative_lifetimes,
+)
+from repro.analysis.report import Table, render
+from repro.endurance.wear import BankWearRecord
+from repro.sim.stats import RunResult
+
+
+def make_result(policy="Norm", ipc=1.0, lifetime=10.0, slow_writes=0.0,
+                normal_writes=100.0):
+    result = RunResult(
+        workload="test", policy=policy, slow_factor=3.0, num_banks=1,
+        expo_factor=2.0, window_ns=1e6, ipc=ipc, lifetime_years=lifetime,
+        blocks_per_bank=1000,
+    )
+    record = BankWearRecord(normal_writes=normal_writes)
+    if slow_writes:
+        record.slow_writes_by_factor[3.0] = slow_writes
+    result.wear_records = [record]
+    return result
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geomean([7.0]) == pytest.approx(7.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_floor_protects_zero(self):
+        assert geomean([0.0, 1.0]) > 0
+
+
+class TestCapped:
+    def test_inf_capped(self):
+        assert capped(float("inf")) == 1e4
+
+    def test_finite_untouched(self):
+        assert capped(42.0) == 42.0
+
+
+class TestRelative:
+    def test_relative_lifetimes(self):
+        results = {"Norm": make_result(lifetime=10.0),
+                   "Slow": make_result("Slow", lifetime=90.0)}
+        rel = relative_lifetimes(results)
+        assert rel["Norm"] == 1.0
+        assert rel["Slow"] == pytest.approx(9.0)
+
+    def test_relative_ipcs(self):
+        results = {"Norm": make_result(ipc=1.0),
+                   "Slow": make_result("Slow", ipc=0.8)}
+        rel = relative_ipcs(results)
+        assert rel["Slow"] == pytest.approx(0.8)
+
+
+class TestLifetimeSweep:
+    def test_norm_only_flat(self):
+        sweep = lifetime_sweep(make_result())
+        values = list(sweep.values())
+        assert all(v == pytest.approx(values[0]) for v in values)
+
+    def test_slow_writes_grow_with_expo(self):
+        sweep = lifetime_sweep(make_result(slow_writes=100, normal_writes=0))
+        assert sweep[3.0] > sweep[1.0]
+
+
+class TestTargets:
+    def test_meets_target(self):
+        assert meets_lifetime_target(make_result(lifetime=8.5))
+        assert meets_lifetime_target(make_result(lifetime=6.5))   # tolerance
+        assert not meets_lifetime_target(make_result(lifetime=3.0))
+
+    def test_best_static_prefers_fast_qualifying(self):
+        results = {
+            "fast_short": make_result(ipc=2.0, lifetime=2.0),
+            "ok": make_result(ipc=1.5, lifetime=9.0),
+            "slow_long": make_result(ipc=0.5, lifetime=80.0),
+        }
+        assert best_static_policy(results) == "ok"
+
+    def test_best_static_falls_back_to_longest_lived(self):
+        results = {
+            "a": make_result(ipc=2.0, lifetime=2.0),
+            "b": make_result(ipc=1.0, lifetime=5.0),
+        }
+        assert best_static_policy(results) == "b"
+
+
+class TestReport:
+    def test_add_row_validates_width(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+
+    def test_render_contains_everything(self):
+        table = Table("My Title", ["name", "value"])
+        table.add_row("x", 1.5)
+        table.notes.append("a note")
+        text = render(table)
+        assert "My Title" in text
+        assert "name" in text and "value" in text
+        assert "1.500" in text
+        assert "note: a note" in text
+
+    def test_render_formats_inf_and_large(self):
+        table = Table("t", ["v"])
+        table.add_row(float("inf"))
+        table.add_row(123456.0)
+        text = render(table)
+        assert "inf" in text
+        assert "123,456" in text
+
+    def test_render_empty_table(self):
+        assert "t" in render(Table("t", ["a"]))

@@ -1,0 +1,93 @@
+"""Tests for the bank state machine and rank tFAW limiter."""
+
+import pytest
+
+from repro.memory.bank import Bank, InFlight
+from repro.memory.queues import WRITE, Request
+from repro.memory.rank import RankFawLimiter
+
+
+def make_op(start=0.0, finish=100.0, pulse_start=20.0, cancellable=True):
+    request = Request(kind=WRITE, block=0, bank=0, rank=0, row=0,
+                      arrival_ns=0.0)
+    return InFlight(request=request, start_ns=start, finish_ns=finish,
+                    pulse_start_ns=pulse_start, cancellable=cancellable)
+
+
+class TestBank:
+    def test_initially_idle_no_open_row(self):
+        bank = Bank(0)
+        assert bank.is_idle(0.0)
+        assert bank.open_row is None
+
+    def test_begin_makes_busy_until_finish(self):
+        bank = Bank(0)
+        bank.begin(make_op(start=10, finish=110))
+        assert not bank.is_idle(50)
+        assert bank.is_idle(110)
+        assert bank.busy_time_ns == 100
+
+    def test_row_hit_tracking(self):
+        bank = Bank(0)
+        assert not bank.row_hit(5)
+        bank.open_row_for(5)
+        assert bank.row_hit(5)
+        assert not bank.row_hit(6)
+
+    def test_cancel_frees_bank_and_trims_busy_time(self):
+        bank = Bank(0)
+        bank.begin(make_op(start=0, finish=100))
+        op = bank.cancel(30)
+        assert bank.is_idle(30)
+        assert bank.in_flight is None
+        assert bank.busy_time_ns == pytest.approx(30)
+        assert op.request.bank == 0
+
+    def test_cancel_without_operation_raises(self):
+        with pytest.raises(RuntimeError):
+            Bank(0).cancel(10)
+
+    def test_complete_clears_in_flight(self):
+        bank = Bank(0)
+        bank.begin(make_op())
+        bank.complete()
+        assert bank.in_flight is None
+
+    def test_negative_duration_rejected(self):
+        bank = Bank(0)
+        with pytest.raises(ValueError):
+            bank.begin(make_op(start=100, finish=50))
+
+
+class TestRankFawLimiter:
+    def test_allows_up_to_four_activates(self):
+        limiter = RankFawLimiter(t_faw_ns=50, max_activates=4)
+        for t in (0, 1, 2, 3):
+            assert limiter.earliest_activate(t) == t
+            limiter.record_activate(t)
+
+    def test_fifth_activate_delayed_to_window_edge(self):
+        limiter = RankFawLimiter(t_faw_ns=50, max_activates=4)
+        for t in (0, 10, 20, 30):
+            limiter.record_activate(t)
+        # Oldest activate (t=0) leaves the window at t=50.
+        assert limiter.earliest_activate(35) == 50
+
+    def test_window_slides(self):
+        limiter = RankFawLimiter(t_faw_ns=50, max_activates=4)
+        for t in (0, 10, 20, 30):
+            limiter.record_activate(t)
+        assert limiter.earliest_activate(60) == 60
+
+    def test_violation_raises(self):
+        limiter = RankFawLimiter(t_faw_ns=50, max_activates=2)
+        limiter.record_activate(0)
+        limiter.record_activate(1)
+        with pytest.raises(RuntimeError):
+            limiter.record_activate(2)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RankFawLimiter(t_faw_ns=0)
+        with pytest.raises(ValueError):
+            RankFawLimiter(max_activates=0)

@@ -1,0 +1,62 @@
+"""Tests for the terminal bar charts."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, comparison_chart
+
+
+def test_basic_chart():
+    text = bar_chart([("a", 10.0), ("bb", 5.0)], width=10)
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("a ")
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") == 5
+    assert "10.00" in lines[0]
+
+
+def test_reference_marker():
+    text = bar_chart([("x", 10.0)], width=10, reference=5.0,
+                     reference_label="target")
+    assert "|" in text.splitlines()[0]
+    assert "target" in text
+
+
+def test_reference_extends_scale():
+    # The reference can exceed every bar; bars scale to it.
+    text = bar_chart([("x", 5.0)], width=10, reference=10.0)
+    assert text.splitlines()[0].count("#") == 5
+
+
+def test_zero_values_ok():
+    text = bar_chart([("x", 0.0)], width=10)
+    assert "#" not in text
+
+
+def test_unit_suffix():
+    text = bar_chart([("x", 3.0)], unit=" y")
+    assert "3.00 y" in text
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        bar_chart([])
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        bar_chart([("x", -1.0)])
+
+
+def test_narrow_width_rejected():
+    with pytest.raises(ValueError):
+        bar_chart([("x", 1.0)], width=2)
+
+
+def test_comparison_chart_sections():
+    text = comparison_chart([
+        ("first", [("a", 1.0)]),
+        ("second", [("b", 2.0)]),
+    ])
+    assert "first" in text and "second" in text
+    assert text.index("first") < text.index("second")

@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "lbm" in out
+    assert "BE-Mellow+SC+WQ" in out
+    assert "fig11" in out
+    assert "abl_flip_n_write" in out
+
+
+def test_run_command(capsys):
+    code = main([
+        "run", "--workload", "hmmer", "--policy", "B-Mellow+SC",
+        "--scale", "0.05",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hmmer" in out
+    assert "B-Mellow+SC" in out
+    assert "lifetime_years" in out
+
+
+def test_sweep_command(capsys):
+    code = main([
+        "sweep", "--workloads", "hmmer", "--policies", "Norm,Slow",
+        "--scale", "0.05",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.count("hmmer") >= 2
+
+
+def test_sweep_rejects_unknown_workload(capsys):
+    code = main([
+        "sweep", "--workloads", "nosuch", "--policies", "Norm",
+        "--scale", "0.05",
+    ])
+    assert code == 2
+
+
+def test_sweep_rejects_unknown_policy():
+    with pytest.raises(ValueError):
+        main(["sweep", "--workloads", "hmmer", "--policies", "Bogus"])
+
+
+def test_figure_command_analytic(capsys):
+    assert main(["figure", "fig01"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+
+
+def test_figure_command_table_vi(capsys):
+    assert main(["figure", "tab06"]) == 0
+    assert "CellC" in capsys.readouterr().out
+
+
+def test_figure_unknown(capsys):
+    assert main(["figure", "fig99"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_ablation_unknown(capsys):
+    assert main(["ablation", "abl_nope"]) == 2
+    assert "unknown ablation" in capsys.readouterr().err
+
+
+def test_run_requires_workload():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run"])
+
+
+def test_parser_rejects_unknown_workload_choice():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--workload", "bogus"])
+
+
+def test_figure_export_csv(tmp_path, capsys):
+    out = tmp_path / "fig01.csv"
+    assert main(["figure", "fig01", "--output", str(out)]) == 0
+    assert out.exists()
+    assert "latency_ns" in out.read_text()
+
+
+def test_figure_export_json(tmp_path, capsys):
+    out = tmp_path / "tab06.json"
+    assert main(["figure", "tab06", "--output", str(out)]) == 0
+    import json
+    data = json.loads(out.read_text())
+    assert data["rows"][0]["cell"] == "CellA"
+
+
+def test_compare_command(capsys):
+    code = main([
+        "compare", "--workload", "hmmer", "--policy", "B-Mellow+SC",
+        "--against", "Norm", "--scale", "0.05",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Comparison" in out
+    assert "lifetime (years)" in out
+
+
+def test_compare_rejects_bad_policy(capsys):
+    assert main([
+        "compare", "--workload", "hmmer", "--policy", "Bogus",
+    ]) == 2
+
+
+def test_sweep_accepts_mixes(capsys):
+    code = main([
+        "sweep", "--workloads", "mix_light_heavy", "--policies", "Norm",
+        "--scale", "0.05",
+    ])
+    assert code == 0
+    assert "mix_light_heavy" in capsys.readouterr().out

@@ -1,0 +1,58 @@
+"""Tests for the configuration comparison helper."""
+
+import pytest
+
+from repro.experiments.compare import compare_configs
+from repro.experiments.runner import Runner
+from repro.sim.config import SimConfig
+
+TINY = dict(warmup_accesses=3000, measure_accesses=6000,
+            llc_size_bytes=128 * 1024, functional_warmup_max=15000)
+
+
+@pytest.fixture()
+def runner(tmp_path):
+    return Runner(cache_dir=tmp_path)
+
+
+def test_compare_structure(runner):
+    table = compare_configs(
+        SimConfig(workload="lbm", policy="Norm", **TINY),
+        SimConfig(workload="lbm", policy="Slow+SC", **TINY),
+        runner,
+    )
+    metrics = table.column("metric")
+    assert "IPC" in metrics and "lifetime (years)" in metrics
+    assert len(table.columns) == 5
+
+
+def test_slow_policy_verdicts(runner):
+    table = compare_configs(
+        SimConfig(workload="lbm", policy="Norm", **TINY),
+        SimConfig(workload="lbm", policy="Slow+SC", **TINY),
+        runner,
+    )
+    rows = {r[0]: r for r in table.rows}
+    # All-slow multiplies lifetime: the verdict says "better".
+    assert rows["lifetime (years)"][4] == "better"
+    assert rows["lifetime (years)"][3] > 2.0
+
+
+def test_labels_default_to_workload_policy(runner):
+    table = compare_configs(
+        SimConfig(workload="hmmer", policy="Norm", **TINY),
+        SimConfig(workload="hmmer", policy="B-Mellow+SC", **TINY),
+        runner,
+    )
+    assert "hmmer/Norm" in table.columns
+    assert "hmmer/B-Mellow+SC" in table.columns
+
+
+def test_custom_labels(runner):
+    table = compare_configs(
+        SimConfig(workload="hmmer", policy="Norm", **TINY),
+        SimConfig(workload="hmmer", policy="Norm", seed=2, **TINY),
+        runner,
+        baseline_label="seed1", candidate_label="seed2",
+    )
+    assert "seed1" in table.columns and "seed2" in table.columns

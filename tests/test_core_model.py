@@ -1,0 +1,111 @@
+"""Focused tests for the SimpleCore timing model."""
+
+import pytest
+
+from repro import params
+from repro.cache.llc import LastLevelCache
+from repro.core.policies import parse_policy
+from repro.cpu.core import SimpleCore
+from repro.cpu.trace import TraceRecord
+from repro.endurance.wear import WearTracker
+from repro.memory.address import AddressMap
+from repro.memory.controller import MemoryController
+from repro.sim.events import EventQueue
+
+AMAP = AddressMap(num_banks=4, num_ranks=1, capacity_bytes=64 * 1024 * 1024)
+
+
+def build(trace, base_cpi=0.5, mlp=4, policy="Norm"):
+    events = EventQueue()
+    llc = LastLevelCache(size_bytes=64 * 1024, assoc=4)
+    controller = MemoryController(
+        events=events, policy=parse_policy(policy), address_map=AMAP,
+        wear=WearTracker(AMAP.num_banks, AMAP.blocks_per_bank),
+    )
+    core = SimpleCore(events, llc, controller, iter(trace),
+                      base_cpi=base_cpi, mlp=mlp)
+    return events, core, controller
+
+
+def test_pure_compute_runs_at_base_cpi():
+    """No memory: elapsed time == instructions * base_cpi * clk."""
+    trace = [TraceRecord(1000, 0, False)]    # one access after 1000 insts
+    events, core, _ = build(trace, base_cpi=0.5)
+    core.start()
+    events.run_all()
+    assert core.instructions_retired == 1000
+    # The gap alone takes 1000 * 0.5 * 0.5ns = 250 ns.
+    assert events.now >= 250.0
+
+
+def test_independent_misses_overlap_up_to_mlp():
+    """Four independent read misses to different banks pipeline."""
+    trace = [TraceRecord(0, bank, False) for bank in range(4)]
+    events, core, controller = build(trace, mlp=4)
+    core.start()
+    events.run_all()
+    # All four overlap: total time ~ one activation + serialized bursts,
+    # far below 4 sequential misses (4 x 142.5 = 570 ns).
+    assert events.now < 300.0
+    assert controller.stats.reads_completed == 4
+
+
+def test_dependent_misses_serialize():
+    trace = [TraceRecord(0, bank, False, dependent=True)
+             for bank in range(4)]
+    events, core, _ = build(trace, mlp=4)
+    core.start()
+    events.run_all()
+    assert events.now >= 4 * 142.5 - 1e-6
+
+
+def test_mlp_limit_throttles_independent_misses():
+    """With MLP=1, even independent misses serialize."""
+    trace = [TraceRecord(0, bank, False) for bank in range(4)]
+    events, core, _ = build(trace, mlp=1)
+    core.start()
+    events.run_all()
+    assert events.now >= 3 * 142.5 - 1e-6   # last miss may not block
+
+
+def test_stores_do_not_block_on_fill():
+    """Store misses issue fills but retirement continues (MLP permitting)."""
+    trace = [TraceRecord(0, bank, True) for bank in range(3)]
+    trace.append(TraceRecord(100, 64, False))
+    events, core, _ = build(trace, mlp=8)
+    core.start()
+    events.run_all()
+    assert core.instructions_retired == 100
+    assert core.accesses_processed == 4
+
+
+def test_llc_hits_cost_nothing():
+    trace = [TraceRecord(0, 5, False)] + [TraceRecord(1, 5, False)] * 50
+    events, core, _ = build(trace)
+    core.start()
+    events.run_all()
+    # One miss (~142.5 ns) plus 50 one-instruction gaps (0.25 ns each).
+    assert events.now < 200.0
+
+
+def test_stall_time_accounts_dependent_waits():
+    trace = [TraceRecord(0, bank, False, dependent=True)
+             for bank in range(3)]
+    events, core, _ = build(trace)
+    core.start()
+    events.run_all()
+    assert core.stall_time_ns > 2 * 142.5 * 0.9
+
+
+def test_finished_after_trace_exhausts():
+    events, core, _ = build([TraceRecord(1, 0, False)])
+    core.start()
+    events.run_all()
+    assert core.finished
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        build([], base_cpi=0.0)
+    with pytest.raises(ValueError):
+        build([], mlp=0)

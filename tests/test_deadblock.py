@@ -1,0 +1,85 @@
+"""Tests for the decay-style dead-block predictor (future-work extension)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.deadblock import DeadBlockPredictor
+
+
+def test_untrained_predicts_nothing_dead():
+    predictor = DeadBlockPredictor()
+    assert not predictor.is_dead(10 ** 6)
+
+
+def test_threshold_from_concentrated_reuse():
+    predictor = DeadBlockPredictor(tail_ratio=1.0 / 32.0)
+    for _ in range(1000):
+        predictor.record_reuse(2)
+    threshold = predictor.end_sample_period()
+    assert threshold < float("inf")
+    assert predictor.is_dead(int(threshold) + 1)
+    assert not predictor.is_dead(1)
+
+
+def test_heavy_tail_keeps_threshold_high():
+    """If >= tail_ratio of reuses are very old, the threshold lands above
+    them - ages in the observed heavy tail are never predicted dead."""
+    predictor = DeadBlockPredictor(tail_ratio=0.25)
+    for _ in range(70):
+        predictor.record_reuse(2)
+    for _ in range(30):
+        predictor.record_reuse(10_000)
+    threshold = predictor.compute_threshold()
+    assert threshold > 10_000
+    assert not predictor.is_dead(10_000)
+
+
+def test_horizon_caps_threshold():
+    predictor = DeadBlockPredictor(tail_ratio=0.25, horizon=16.0)
+    for _ in range(70):
+        predictor.record_reuse(2)
+    for _ in range(30):
+        predictor.record_reuse(10_000)
+    assert predictor.compute_threshold() == 16.0
+
+
+def test_histogram_resets_each_period():
+    predictor = DeadBlockPredictor()
+    predictor.record_reuse(5)
+    predictor.end_sample_period()
+    assert predictor.total_reuses == 0
+    assert predictor.samples_taken == 1
+
+
+def test_negative_age_rejected():
+    with pytest.raises(ValueError):
+        DeadBlockPredictor().record_reuse(-1)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        DeadBlockPredictor(tail_ratio=0.0)
+    with pytest.raises(ValueError):
+        DeadBlockPredictor(horizon=0.0)
+
+
+def test_bucket_of_saturates():
+    assert DeadBlockPredictor._bucket_of(2 ** 40) == DeadBlockPredictor.MAX_BUCKET
+    assert DeadBlockPredictor._bucket_of(0) == 0
+
+
+@given(ages=st.lists(st.integers(min_value=0, max_value=2 ** 20),
+                     min_size=1, max_size=200))
+@settings(max_examples=50)
+def test_threshold_tail_budget_property(ages):
+    """Property: at most tail_ratio of observed reuses lie strictly beyond
+    the trained threshold (when it is finite and uncapped)."""
+    predictor = DeadBlockPredictor(tail_ratio=1.0 / 8.0)
+    for age in ages:
+        predictor.record_reuse(age)
+    threshold = predictor.compute_threshold()
+    if threshold == float("inf"):
+        return
+    # Bucketing is log2-granular; compare against the bucket boundary.
+    beyond = sum(1 for a in ages if a > 2 * threshold)
+    assert beyond <= len(ages) / 8.0 + 1

@@ -1,0 +1,71 @@
+"""Tests for the Figure-9 decision tree and Bank-Aware predicate."""
+
+import pytest
+
+from repro.core.bank_aware import bank_aware_wants_slow
+from repro.core.decision import choose_write_speed
+from repro.core.policies import parse_policy
+from repro.memory.queues import EAGER, READ, WRITE
+
+
+class TestBankAwarePredicate:
+    def test_single_request_goes_slow(self):
+        assert bank_aware_wants_slow(0, 0)
+
+    def test_second_write_forces_normal(self):
+        assert not bank_aware_wants_slow(1, 0)
+
+    def test_pending_read_forces_normal(self):
+        assert not bank_aware_wants_slow(0, 2)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            bank_aware_wants_slow(-1, 0)
+
+
+class TestFigure9Tree:
+    def decide(self, policy_name, **kwargs):
+        defaults = dict(kind=WRITE, other_writes_for_bank=0,
+                        reads_for_bank=0, quota_exceeded=False)
+        defaults.update(kwargs)
+        return choose_write_speed(parse_policy(policy_name), **defaults)
+
+    def test_single_request_slow(self):
+        assert self.decide("BE-Mellow+SC+WQ") is True
+
+    def test_multiple_requests_quota_exceeded_slow(self):
+        assert self.decide("BE-Mellow+SC+WQ", other_writes_for_bank=3,
+                           quota_exceeded=True) is True
+
+    def test_multiple_requests_quota_ok_normal(self):
+        assert self.decide("BE-Mellow+SC+WQ", other_writes_for_bank=3) is False
+
+    def test_eager_requests_are_slow(self):
+        assert self.decide("BE-Mellow+SC", kind=EAGER,
+                           other_writes_for_bank=5) is True
+
+    def test_e_norm_eager_requests_are_normal(self):
+        assert self.decide("E-Norm+NC", kind=EAGER) is False
+
+    def test_norm_policy_never_slow(self):
+        assert self.decide("Norm") is False
+        assert self.decide("Norm", other_writes_for_bank=0) is False
+
+    def test_norm_wq_slow_only_when_gated(self):
+        assert self.decide("Norm+WQ", quota_exceeded=True) is True
+        assert self.decide("Norm+WQ", quota_exceeded=False) is False
+
+    def test_slow_policy_always_slow(self):
+        assert self.decide("Slow+SC", other_writes_for_bank=9) is True
+
+    def test_quota_ignored_without_wq(self):
+        assert self.decide("B-Mellow+SC", other_writes_for_bank=2,
+                           quota_exceeded=True) is False
+
+    def test_read_kind_rejected(self):
+        with pytest.raises(ValueError):
+            self.decide("Norm", kind=READ)
+
+    def test_eager_without_eager_policy_rejected(self):
+        with pytest.raises(ValueError):
+            self.decide("Norm", kind=EAGER)

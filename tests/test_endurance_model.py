@@ -1,0 +1,108 @@
+"""Tests for the analytic endurance model (Eq. 2, Figure 1, Table II)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import params
+from repro.endurance.model import EnduranceModel
+
+
+def test_baseline_endurance_at_normal_latency():
+    model = EnduranceModel()
+    assert model.endurance_at_factor(1.0) == pytest.approx(5.0e6)
+    assert model.endurance_at_latency(150.0) == pytest.approx(5.0e6)
+
+
+def test_table_ii_endurance_ladder_quadratic():
+    """Table II: 1.5x -> 1.125e7, 2.0x -> 2.0e7, 3.0x -> 4.5e7 writes."""
+    model = EnduranceModel(expo_factor=2.0)
+    assert model.endurance_at_factor(1.5) == pytest.approx(1.125e7)
+    assert model.endurance_at_factor(2.0) == pytest.approx(2.0e7)
+    assert model.endurance_at_factor(3.0) == pytest.approx(4.5e7)
+
+
+@pytest.mark.parametrize("expo", params.EXPO_FACTORS)
+def test_figure1_exponent_sweep(expo):
+    model = EnduranceModel(expo_factor=expo)
+    assert model.endurance_at_factor(3.0) == pytest.approx(
+        5.0e6 * 3.0 ** expo
+    )
+
+
+def test_damage_per_write_normal_is_one():
+    assert EnduranceModel().damage_per_write(1.0) == pytest.approx(1.0)
+
+
+def test_damage_per_write_slow_quadratic():
+    model = EnduranceModel(expo_factor=2.0)
+    assert model.damage_per_write(3.0) == pytest.approx(1.0 / 9.0)
+
+
+def test_damage_linear_model():
+    model = EnduranceModel(expo_factor=1.0)
+    assert model.damage_per_write(3.0) == pytest.approx(1.0 / 3.0)
+
+
+def test_latency_for_endurance_inverse():
+    model = EnduranceModel(expo_factor=2.0)
+    latency = model.latency_for_endurance(2.0e7)
+    assert latency == pytest.approx(300.0)
+
+
+def test_curve_rows():
+    model = EnduranceModel()
+    rows = model.curve([1.0, 2.0])
+    assert rows[0] == (1.0, 150.0, pytest.approx(5.0e6))
+    assert rows[1][1] == pytest.approx(300.0)
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0])
+def test_invalid_factor_rejected(bad):
+    with pytest.raises(ValueError):
+        EnduranceModel().endurance_at_factor(bad)
+
+
+def test_invalid_constructor_args():
+    with pytest.raises(ValueError):
+        EnduranceModel(base_latency_ns=0)
+    with pytest.raises(ValueError):
+        EnduranceModel(base_endurance=-5)
+    with pytest.raises(ValueError):
+        EnduranceModel(expo_factor=-0.5)
+
+
+@given(
+    factor=st.floats(min_value=1.0, max_value=10.0),
+    expo=st.floats(min_value=0.5, max_value=3.0),
+)
+def test_endurance_monotone_in_slowdown(factor, expo):
+    """Slower writes never reduce endurance (for positive exponents)."""
+    model = EnduranceModel(expo_factor=expo)
+    assert model.endurance_at_factor(factor) >= model.endurance_at_factor(1.0) * 0.999999
+
+
+@given(
+    factor=st.floats(min_value=1.0, max_value=10.0),
+    expo=st.floats(min_value=0.1, max_value=3.0),
+)
+def test_inverse_roundtrip(factor, expo):
+    model = EnduranceModel(expo_factor=expo)
+    endurance = model.endurance_at_factor(factor)
+    assert model.latency_for_endurance(endurance) == pytest.approx(
+        factor * 150.0, rel=1e-9
+    )
+
+
+@given(
+    f1=st.floats(min_value=1.0, max_value=5.0),
+    f2=st.floats(min_value=1.0, max_value=5.0),
+)
+def test_damage_antitone(f1, f2):
+    """Slower writes always deposit no more damage than faster ones."""
+    model = EnduranceModel(expo_factor=2.0)
+    if f1 <= f2:
+        assert model.damage_per_write(f1) >= model.damage_per_write(f2)
+    else:
+        assert model.damage_per_write(f1) <= model.damage_per_write(f2)

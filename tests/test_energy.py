@@ -1,0 +1,105 @@
+"""Tests for the energy models (Tables V and VI, Figure 16 accounting)."""
+
+import pytest
+
+from repro import params
+from repro.energy.accounting import EnergyAccount
+from repro.energy.cells import CELLS, get_cell
+from repro.energy.nvsim import LineEnergyModel, table_vi_rows
+
+
+class TestCells:
+    def test_table_v_cell_energies(self):
+        assert get_cell("CellA").set_energy_pj == 0.1
+        assert get_cell("CellC").set_energy_pj == 0.4
+        assert get_cell("CellE").set_energy_pj == 1.6
+
+    def test_slow_write_cell_energy_is_2_3x(self):
+        cell = get_cell("CellC")
+        assert cell.cell_write_energy_pj(slow=True) == pytest.approx(0.92)
+        assert cell.cell_write_energy_pj(slow=False) == pytest.approx(0.4)
+
+    def test_slow_power_is_lower_despite_higher_energy(self):
+        """3x pulse at 0.767x power => 2.3x energy (the paper's assumption)."""
+        assert params.SLOW_POWER_RATIO * 3.0 == pytest.approx(
+            params.SLOW_CELL_ENERGY_RATIO, rel=0.01
+        )
+
+    def test_unknown_cell(self):
+        with pytest.raises(KeyError):
+            get_cell("CellZ")
+
+    def test_five_cells(self):
+        assert len(CELLS) == 5
+
+
+# Table VI published rows: (cell, norm write, slow write, ratio).
+TABLE_VI = [
+    ("CellA", 248.8, 314.5, 1.26),
+    ("CellB", 300.0, 432.3, 1.44),
+    ("CellC", 402.4, 667.8, 1.66),
+    ("CellD", 607.2, 1138.8, 1.88),
+    ("CellE", 1016.8, 2080.9, 2.05),
+]
+
+
+class TestTableVI:
+    @pytest.mark.parametrize("cell,norm,slow,ratio", TABLE_VI)
+    def test_write_energies_match_paper(self, cell, norm, slow, ratio):
+        model = LineEnergyModel.for_cell(cell)
+        assert model.write_energy_pj(False) == pytest.approx(norm, rel=0.01)
+        assert model.write_energy_pj(True) == pytest.approx(slow, rel=0.01)
+
+    @pytest.mark.parametrize("cell,norm,slow,ratio", TABLE_VI)
+    def test_slow_norm_ratio_matches_paper(self, cell, norm, slow, ratio):
+        model = LineEnergyModel.for_cell(cell)
+        assert model.slow_norm_ratio == pytest.approx(ratio, abs=0.01)
+
+    def test_buffer_read_energy(self):
+        model = LineEnergyModel.for_cell("CellC")
+        assert model.read_energy_pj(row_hit=False) == 1503.0
+        assert model.read_energy_pj(row_hit=True) == 100.0
+
+    def test_ratio_shrinks_with_cell_energy(self):
+        """Peripheral energy dominates small cells: CellA ratio < CellE."""
+        ratios = [LineEnergyModel.for_cell(c).slow_norm_ratio
+                  for c in ("CellA", "CellB", "CellC", "CellD", "CellE")]
+        assert ratios == sorted(ratios)
+
+    def test_table_vi_rows_complete(self):
+        rows = table_vi_rows()
+        assert [r["cell"] for r in rows] == list(params.CELL_ENERGIES_PJ)
+        assert all(r["buffer_read_pj"] == 1503.0 for r in rows)
+
+
+class TestEnergyAccount:
+    def test_read_charging(self):
+        account = EnergyAccount()
+        account.charge_read(row_hit=True)
+        account.charge_read(row_hit=False)
+        assert account.read_energy_pj == pytest.approx(100.0 + 1503.0)
+
+    def test_write_charging(self):
+        account = EnergyAccount()
+        account.charge_write(slow=False)
+        account.charge_write(slow=True)
+        assert account.write_energy_pj == pytest.approx(402.4 + 667.8, rel=0.01)
+
+    def test_fractional_cancelled_attempt(self):
+        account = EnergyAccount()
+        account.charge_write(slow=True, fraction=0.5)
+        assert account.write_energy_pj == pytest.approx(667.8 / 2, rel=0.01)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            EnergyAccount().charge_write(slow=False, fraction=1.5)
+
+    def test_total_and_reset(self):
+        account = EnergyAccount()
+        account.charge_read(row_hit=True)
+        account.charge_write(slow=False)
+        assert account.total_pj == pytest.approx(
+            account.read_energy_pj + account.write_energy_pj
+        )
+        account.reset()
+        assert account.total_pj == 0.0

@@ -1,0 +1,58 @@
+"""Property tests for the generalized energy model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.energy.cells import get_cell
+from repro.energy.nvsim import LineEnergyModel
+
+CELL_NAMES = ("CellA", "CellB", "CellC", "CellD", "CellE")
+
+
+@given(
+    cell=st.sampled_from(CELL_NAMES),
+    f1=st.floats(min_value=1.0, max_value=5.0),
+    f2=st.floats(min_value=1.0, max_value=5.0),
+)
+@settings(max_examples=60)
+def test_line_energy_monotone_in_factor(cell, f1, f2):
+    """Slower writes always cost at least as much energy."""
+    model = LineEnergyModel.for_cell(cell)
+    lo, hi = sorted((f1, f2))
+    assert model.write_energy_pj_for(lo) <= model.write_energy_pj_for(hi) + 1e-9
+
+
+@given(cell=st.sampled_from(CELL_NAMES))
+def test_factor_model_agrees_with_binary_at_anchors(cell):
+    model = LineEnergyModel.for_cell(cell)
+    assert model.write_energy_pj_for(1.0) == pytest.approx(
+        model.write_energy_pj(False)
+    )
+    assert model.write_energy_pj_for(3.0) == pytest.approx(
+        model.write_energy_pj(True), rel=1e-6,
+    )
+
+
+@given(
+    cell=st.sampled_from(CELL_NAMES),
+    factor=st.floats(min_value=1.0, max_value=3.0),
+)
+@settings(max_examples=60)
+def test_energy_grows_sublinearly_with_pulse(cell, factor):
+    """Power drops as the pulse lengthens: E(f) < f * E(1) for f > 1."""
+    cell_params = get_cell(cell)
+    assert cell_params.cell_write_energy_for(factor) <= (
+        factor * cell_params.cell_write_energy_for(1.0) + 1e-12
+    )
+
+
+def test_mid_factor_between_anchors():
+    model = LineEnergyModel.for_cell("CellC")
+    mid = model.write_energy_pj_for(1.5)
+    assert model.write_energy_pj(False) < mid < model.write_energy_pj(True)
+
+
+@given(factor=st.floats(min_value=0.01, max_value=0.99))
+def test_subunit_factor_rejected(factor):
+    with pytest.raises(ValueError):
+        get_cell("CellC").cell_write_energy_for(factor)

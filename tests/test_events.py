@@ -1,0 +1,109 @@
+"""Unit tests for the deterministic event queue."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+def test_events_run_in_time_order():
+    eq = EventQueue()
+    order = []
+    eq.schedule(30, lambda: order.append("c"))
+    eq.schedule(10, lambda: order.append("a"))
+    eq.schedule(20, lambda: order.append("b"))
+    eq.run_all()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_in_insertion_order():
+    eq = EventQueue()
+    order = []
+    for label in "abcde":
+        eq.schedule(5, lambda l=label: order.append(l))
+    eq.run_all()
+    assert order == list("abcde")
+
+
+def test_now_tracks_event_time():
+    eq = EventQueue()
+    seen = []
+    eq.schedule(42.5, lambda: seen.append(eq.now))
+    eq.run_all()
+    assert seen == [42.5]
+    assert eq.now == 42.5
+
+
+def test_schedule_in_is_relative():
+    eq = EventQueue()
+    seen = []
+    eq.schedule(10, lambda: eq.schedule_in(5, lambda: seen.append(eq.now)))
+    eq.run_all()
+    assert seen == [15]
+
+
+def test_cannot_schedule_in_the_past():
+    eq = EventQueue()
+    eq.schedule(10, lambda: None)
+    eq.run_all()
+    with pytest.raises(ValueError):
+        eq.schedule(5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    eq = EventQueue()
+    with pytest.raises(ValueError):
+        eq.schedule_in(-1, lambda: None)
+
+
+def test_run_until_stops_at_boundary_inclusive():
+    eq = EventQueue()
+    hits = []
+    eq.schedule(10, lambda: hits.append(10))
+    eq.schedule(20, lambda: hits.append(20))
+    eq.schedule(30, lambda: hits.append(30))
+    eq.run_until(20)
+    assert hits == [10, 20]
+    assert eq.now == 20
+    assert len(eq) == 1
+
+
+def test_run_until_advances_now_when_no_events():
+    eq = EventQueue()
+    eq.run_until(100)
+    assert eq.now == 100
+
+
+def test_pop_and_run_empty_returns_false():
+    eq = EventQueue()
+    assert eq.pop_and_run() is False
+
+
+def test_events_scheduled_during_execution_run():
+    eq = EventQueue()
+    order = []
+
+    def first():
+        order.append("first")
+        eq.schedule_in(1, lambda: order.append("second"))
+
+    eq.schedule(0, first)
+    eq.run_all()
+    assert order == ["first", "second"]
+
+
+def test_run_all_respects_max_events():
+    eq = EventQueue()
+
+    def rearm():
+        eq.schedule_in(1, rearm)
+
+    eq.schedule(0, rearm)
+    count = eq.run_all(max_events=50)
+    assert count == 50
+
+
+def test_peek_time():
+    eq = EventQueue()
+    assert eq.peek_time() is None
+    eq.schedule(7, lambda: None)
+    assert eq.peek_time() == 7

@@ -1,0 +1,61 @@
+"""Smoke tests: every example runs end to end at reduced scale."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name, *args, timeout=300):
+    env = dict(os.environ, REPRO_SCALE="0.05")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True, text=True, timeout=timeout, env=env,
+    )
+
+
+def test_every_example_is_tested():
+    covered = {
+        "quickstart.py", "policy_comparison.py", "lifetime_guarantee.py",
+        "endurance_tradeoff.py", "custom_workload.py",
+        "wear_limiting_zoo.py",
+    }
+    assert set(ALL_EXAMPLES) == covered
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_parses(name):
+    compile((EXAMPLES_DIR / name).read_text(), name, "exec")
+
+
+def test_quickstart_runs():
+    proc = run_example("quickstart.py", "hmmer")
+    assert proc.returncode == 0, proc.stderr
+    assert "Mellow Writes vs baseline" in proc.stdout
+    assert "lifetime" in proc.stdout
+
+
+def test_endurance_tradeoff_runs():
+    proc = run_example("endurance_tradeoff.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "Figure 1" in proc.stdout
+    assert "expo" in proc.stdout
+
+
+def test_custom_workload_runs():
+    proc = run_example("custom_workload.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "custom tiled kernel" in proc.stdout
+    assert "replayed" in proc.stdout
+    assert "multiprogrammed mix" in proc.stdout
+
+
+def test_lifetime_guarantee_runs():
+    proc = run_example("lifetime_guarantee.py", "gups")
+    assert proc.returncode == 0, proc.stderr
+    assert "Norm baseline" in proc.stdout

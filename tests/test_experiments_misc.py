@@ -1,0 +1,51 @@
+"""Unit tests for the headline summary and seed-stability studies."""
+
+import pytest
+
+from repro.experiments.headline import PAPER_HEADLINES, headline_summary
+from repro.experiments.runner import Runner
+from repro.experiments.seeds import _stats, seed_stability
+
+
+@pytest.fixture(autouse=True)
+def tiny_environment(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_SCALE", "0.05")
+    monkeypatch.setenv("REPRO_WORKLOADS", "hmmer,lbm")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+def test_headline_summary_structure():
+    table = headline_summary(Runner())
+    policies = table.column("policy")
+    assert "BE-Mellow+SC" in policies and "Norm" in policies
+    norm = [r for r in table.rows if r[0] == "Norm"][0]
+    assert norm[1] == pytest.approx(1.0)
+    assert norm[2] == pytest.approx(1.0)
+
+
+def test_headline_paper_anchors_attached():
+    table = headline_summary(Runner())
+    be = [r for r in table.rows if r[0] == "BE-Mellow+SC"][0]
+    assert be[4] == PAPER_HEADLINES["BE-Mellow+SC"][0]
+    assert be[5] == PAPER_HEADLINES["BE-Mellow+SC"][1]
+
+
+def test_seed_stability_structure():
+    table = seed_stability(Runner(), workloads=("lbm",), seeds=(1, 2))
+    assert len(table.rows) == 1
+    row = table.rows[0]
+    assert row[0] == "lbm"
+    assert row[1] > 0       # mean ipc ratio
+    assert row[2] >= 0      # cv
+    assert row[5] == 2      # seeds counted
+
+
+class TestStatsHelper:
+    def test_mean_and_cv(self):
+        mean, cv = _stats([2.0, 4.0])
+        assert mean == 3.0
+        assert cv == pytest.approx((2 ** 0.5) / 3.0)
+
+    def test_single_value(self):
+        mean, cv = _stats([5.0])
+        assert mean == 5.0 and cv == 0.0

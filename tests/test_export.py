@@ -1,0 +1,56 @@
+"""Tests for table CSV/JSON export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import table_to_csv, table_to_json, write_table
+from repro.analysis.report import Table
+
+
+def sample_table():
+    table = Table("Sample", ["name", "value"])
+    table.add_row("a", 1.5)
+    table.add_row("b", 2)
+    table.notes.append("a note")
+    return table
+
+
+def test_csv_roundtrip():
+    text = table_to_csv(sample_table())
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0] == ["name", "value"]
+    assert rows[1] == ["a", "1.5"]
+    assert rows[2] == ["b", "2"]
+
+
+def test_json_structure():
+    data = json.loads(table_to_json(sample_table()))
+    assert data["title"] == "Sample"
+    assert data["rows"][0] == {"name": "a", "value": 1.5}
+    assert data["notes"] == ["a note"]
+
+
+def test_json_handles_inf():
+    table = Table("t", ["v"])
+    table.add_row(float("inf"))
+    data = json.loads(table_to_json(table))
+    assert data["rows"][0]["v"] == float("inf")
+
+
+def test_write_table_csv(tmp_path):
+    path = write_table(sample_table(), tmp_path / "out.csv")
+    assert path.exists()
+    assert "name,value" in path.read_text()
+
+
+def test_write_table_json(tmp_path):
+    path = write_table(sample_table(), tmp_path / "out.json")
+    assert json.loads(path.read_text())["title"] == "Sample"
+
+
+def test_write_table_unknown_format(tmp_path):
+    with pytest.raises(ValueError):
+        write_table(sample_table(), tmp_path / "out.xlsx")

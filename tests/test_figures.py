@@ -1,0 +1,104 @@
+"""Unit tests for the figure regenerators (tiny scale, two workloads).
+
+These check table *structure* and basic invariants quickly; the benchmark
+harness exercises the full-scale versions and their paper-shape
+assertions.
+"""
+
+import pytest
+
+from repro.analysis.report import render
+from repro.experiments import figures
+from repro.experiments.runner import Runner
+
+
+@pytest.fixture(autouse=True)
+def tiny_environment(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.05")
+    monkeypatch.setenv("REPRO_WORKLOADS", "hmmer,lbm")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+@pytest.fixture(scope="module")
+def shared_runner(tmp_path_factory):
+    return Runner(cache_dir=tmp_path_factory.mktemp("figcache"))
+
+
+def test_fig01_structure():
+    table = figures.fig01_endurance_model()
+    assert table.column("slow_factor")[0] == 1.0
+    assert len(table.rows) == 13
+    render(table)   # renders without error
+
+
+def test_fig02_structure(shared_runner):
+    table = figures.fig02_static_latency(shared_runner)
+    policies = {r[1] for r in table.rows}
+    assert policies == {"1.0x", "1.0x+WC", "1.5x", "1.5x+WC",
+                        "2.0x", "2.0x+WC", "3.0x", "3.0x+WC"}
+    assert {r[0] for r in table.rows} == {"hmmer", "lbm"}
+
+
+def test_fig03_structure(shared_runner):
+    table = figures.fig03_bank_utilization(shared_runner)
+    assert len(table.rows) == 2
+    assert all(0 <= r[1] <= 1 for r in table.rows)
+
+
+def test_tab04_structure(shared_runner):
+    table = figures.tab04_workload_mpki(shared_runner)
+    assert table.column("workload") == ["hmmer", "lbm"]
+
+
+def test_tab06_needs_no_simulation():
+    table = figures.tab06_energy_per_op()
+    assert len(table.rows) == 5
+
+
+def test_fig10_contains_geomean(shared_runner):
+    table = figures.fig10_policy_ipc(shared_runner)
+    assert "GEOMEAN" in table.column("workload")
+    norm_rows = [r for r in table.rows if r[1] == "Norm"]
+    assert all(r[3] == pytest.approx(1.0) for r in norm_rows)
+
+
+def test_fig11_lifetimes_positive(shared_runner):
+    table = figures.fig11_policy_lifetime(shared_runner)
+    assert all(r[2] > 0 for r in table.rows)
+
+
+def test_fig12_mean_row(shared_runner):
+    table = figures.fig12_policy_utilization(shared_runner)
+    assert "MEAN" in table.column("workload")
+
+
+def test_fig14_norm_has_no_eager(shared_runner):
+    table = figures.fig14_llc_requests(shared_runner)
+    for row in table.rows:
+        if row[1] == "Norm" and row[0] != "GEOMEAN":
+            assert row[4] == 0.0
+
+
+def test_fig17_norm_flat(shared_runner):
+    table = figures.fig17_expo_sensitivity(shared_runner)
+    norm = [r for r in table.rows if r[0] == "Norm"][0]
+    assert all(v == pytest.approx(1.0) for v in norm[1:])
+
+
+def test_fig18_three_bank_counts(shared_runner):
+    table = figures.fig18_bank_sensitivity(shared_runner, workload="lbm")
+    assert sorted({r[0] for r in table.rows}) == [4, 8, 16]
+
+
+def test_fig19_marks_best_static(shared_runner):
+    table = figures.fig19_vs_static(shared_runner)
+    for workload in ("hmmer", "lbm"):
+        marks = [r for r in table.rows if r[0] == workload and r[5]]
+        assert len(marks) == 1
+
+
+def test_all_figures_registry_complete():
+    expected = {"fig01", "fig02", "fig03", "tab04", "tab06", "fig10",
+                "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+                "fig17", "fig18", "fig19"}
+    assert set(figures.ALL_FIGURES) == expected

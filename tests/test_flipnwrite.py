@@ -1,0 +1,62 @@
+"""Tests for the Flip-N-Write wear-limiting model."""
+
+import random
+
+import pytest
+
+from repro.endurance.flipnwrite import FlipNWrite
+
+
+def test_worst_case_guarantee():
+    fnw = FlipNWrite(word_bits=32)
+    assert fnw.worst_case_fraction == pytest.approx(17 / 32)
+
+
+def test_sampled_fractions_respect_guarantee():
+    fnw = FlipNWrite(rng=random.Random(1))
+    for _ in range(500):
+        fraction = fnw.sample_line_fraction()
+        assert 0.0 <= fraction <= fnw.worst_case_fraction + 1e-9
+
+
+def test_mean_fraction_near_expected():
+    """Random data: E[min(d, W-d)] ~ W/2 - sqrt(W/(2*pi)); plus flip bit."""
+    fnw = FlipNWrite(rng=random.Random(2))
+    for _ in range(3000):
+        fnw.sample_line_fraction()
+    # For W=32: expectation ~ (16 - 2.26 + 1)/32 ~ 0.46.
+    assert 0.40 < fnw.mean_fraction < 0.50
+
+
+def test_word_bits_accounting():
+    fnw = FlipNWrite(word_bits=64, line_bits=512, rng=random.Random(3))
+    assert fnw.words_per_line == 8
+    fnw.sample_line_fraction()
+    assert fnw.lines_written == 1
+    assert fnw.bits_written > 0
+
+
+def test_invalid_geometry():
+    with pytest.raises(ValueError):
+        FlipNWrite(word_bits=1)
+    with pytest.raises(ValueError):
+        FlipNWrite(word_bits=33, line_bits=512)
+
+
+def test_deterministic_given_seed():
+    a = FlipNWrite(rng=random.Random(7))
+    b = FlipNWrite(rng=random.Random(7))
+    assert [a.sample_line_fraction() for _ in range(10)] == [
+        b.sample_line_fraction() for _ in range(10)
+    ]
+
+
+def test_integration_roughly_doubles_lifetime():
+    """End-to-end: FNW cuts wear to ~46%, so lifetime ~2x under Norm."""
+    from repro import SimConfig, run_simulation
+    fast = dict(workload="lbm", policy="Norm", warmup_accesses=6000,
+                measure_accesses=10000, llc_size_bytes=256 * 1024)
+    plain = run_simulation(SimConfig(**fast))
+    fnw = run_simulation(SimConfig(flip_n_write=True, **fast))
+    ratio = fnw.lifetime_years / plain.lifetime_years
+    assert 1.7 < ratio < 2.6

@@ -1,0 +1,90 @@
+"""Tests for multiprogrammed workload mixes."""
+
+import itertools
+
+import pytest
+
+from repro.cpu.trace import TraceRecord
+from repro.workloads.mix import MIXES, WorkloadMix, get_mix, mix_traces
+
+
+def make_trace(blocks, gap=10):
+    return iter([TraceRecord(gap, b, False) for b in blocks])
+
+
+class TestMixTraces:
+    def test_interleaves_by_instruction_progress(self):
+        # Component 0 accesses every 10 instructions, component 1 every 30:
+        # the output should contain ~3x more of component 0.
+        a = iter([TraceRecord(10, 1, False)] * 30)
+        b = iter([TraceRecord(30, 2, False)] * 30)
+        out = list(itertools.islice(mix_traces([a, b], relocate=False), 40))
+        from_a = sum(1 for r in out if r.block == 1)
+        from_b = sum(1 for r in out if r.block == 2)
+        assert from_a > from_b * 2
+
+    def test_relocation_separates_address_spaces(self):
+        a = make_trace([5])
+        b = make_trace([5])
+        out = list(mix_traces([a, b]))
+        assert out[0].block != out[1].block
+
+    def test_no_relocation_keeps_blocks(self):
+        a = make_trace([5])
+        out = list(mix_traces([a], relocate=False))
+        assert out[0].block == 5
+
+    def test_exhausts_finite_traces(self):
+        a = make_trace([1, 2, 3])
+        b = make_trace([4, 5])
+        assert len(list(mix_traces([a, b]))) == 5
+
+    def test_empty_component_list_rejected(self):
+        with pytest.raises(ValueError):
+            next(mix_traces([]))
+
+
+class TestWorkloadMix:
+    def test_builtin_mixes_valid(self):
+        assert "mix_write_heavy" in MIXES
+        for mix in MIXES.values():
+            assert len(mix.components) >= 2
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(KeyError):
+            WorkloadMix("bad", ("lbm", "nosuch"))
+
+    def test_single_component_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMix("bad", ("lbm",))
+
+    def test_get_mix_unknown(self):
+        with pytest.raises(KeyError):
+            get_mix("nosuch")
+
+    def test_trace_is_deterministic(self):
+        mix = get_mix("mix_lat_bw")
+        a = list(itertools.islice(mix.trace(seed=3), 100))
+        b = list(itertools.islice(mix.trace(seed=3), 100))
+        assert a == b
+
+    def test_trace_contains_both_components(self):
+        mix = get_mix("mix_lat_bw")
+        records = list(itertools.islice(mix.trace(seed=1), 2000))
+        spaces = {r.block >> 34 for r in records}
+        assert len(spaces) == 2
+
+    def test_base_cpi_averages(self):
+        mix = get_mix("mix_write_heavy")
+        cpis = [p.base_cpi for p in mix.profiles]
+        assert mix.base_cpi == pytest.approx(sum(cpis) / len(cpis))
+
+    def test_mix_runs_through_system(self):
+        from repro import SimConfig, run_simulation
+        result = run_simulation(SimConfig(
+            workload="mix_light_heavy", policy="B-Mellow+SC",
+            warmup_accesses=4000, measure_accesses=8000,
+            llc_size_bytes=256 * 1024, functional_warmup_max=30000,
+        ))
+        assert result.ipc > 0
+        assert result.lifetime_years > 0

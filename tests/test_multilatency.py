@@ -1,0 +1,82 @@
+"""Tests for multi-latency Mellow Writes (+ML, Section VI-I future work)."""
+
+import pytest
+
+from repro.core.decision import choose_write_factor
+from repro.core.policies import parse_policy
+from repro.memory.queues import EAGER, WRITE
+
+
+def decide(policy_name, **kwargs):
+    defaults = dict(kind=WRITE, other_writes_for_bank=0, reads_for_bank=0,
+                    quota_exceeded=False)
+    defaults.update(kwargs)
+    return choose_write_factor(parse_policy(policy_name), **defaults)
+
+
+def test_ml_suffix_parses():
+    p = parse_policy("B-Mellow+SC+ML")
+    assert p.multi_latency and p.bank_aware
+    assert p.mid_factor == 1.5
+
+
+def test_ml_requires_bank_aware():
+    with pytest.raises(ValueError):
+        parse_policy("Norm+ML")
+
+
+def test_alone_in_queue_gets_full_slowdown():
+    assert decide("B-Mellow+SC+ML") == 3.0
+
+
+def test_one_other_write_gets_mid_factor():
+    assert decide("B-Mellow+SC+ML", other_writes_for_bank=1) == 1.5
+
+
+def test_two_others_fall_back_to_normal():
+    assert decide("B-Mellow+SC+ML", other_writes_for_bank=2) == 1.0
+
+
+def test_pending_read_disables_mid_factor():
+    assert decide("B-Mellow+SC+ML", other_writes_for_bank=1,
+                  reads_for_bank=1) == 1.0
+
+
+def test_without_ml_one_other_is_normal():
+    assert decide("B-Mellow+SC", other_writes_for_bank=1) == 1.0
+
+
+def test_eager_always_full_slow():
+    assert decide("BE-Mellow+SC+ML", kind=EAGER,
+                  other_writes_for_bank=5) == 3.0
+
+
+def test_binary_policies_unchanged():
+    assert decide("Norm") == 1.0
+    assert decide("Slow+SC", other_writes_for_bank=4) == 3.0
+
+
+def test_ml_integration_issues_mid_latency_writes():
+    """End-to-end: the +ML system records wear at three distinct factors."""
+    from repro import SimConfig, run_simulation
+    result = run_simulation(SimConfig(
+        workload="lbm", policy="B-Mellow+SC+ML",
+        warmup_accesses=6000, measure_accesses=12000,
+        llc_size_bytes=256 * 1024,
+    ))
+    factors = set()
+    for record in result.wear_records:
+        factors.update(record.slow_writes_by_factor)
+    assert 1.5 in factors
+    assert 3.0 in factors
+    assert result.writes_issued_normal > 0
+
+
+def test_ml_lifetime_between_binary_extremes():
+    from repro import SimConfig, run_simulation
+    fast = dict(workload="lbm", warmup_accesses=6000,
+                measure_accesses=12000, llc_size_bytes=256 * 1024)
+    binary = run_simulation(SimConfig(policy="B-Mellow+SC", **fast))
+    ml = run_simulation(SimConfig(policy="B-Mellow+SC+ML", **fast))
+    # The mid tier converts some normal writes to 1.5x: lifetime rises.
+    assert ml.lifetime_years > binary.lifetime_years * 0.95

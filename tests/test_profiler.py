@@ -1,0 +1,120 @@
+"""Tests for the LRU-stack-position profiler (Section IV-B1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.profiler import StackProfiler
+
+
+def test_initially_nothing_useless():
+    profiler = StackProfiler(assoc=16)
+    assert profiler.eager_position == 16
+    assert not profiler.is_useless_position(15)
+
+
+def test_paper_motivating_example():
+    """Figure 7: positions 3-7 accumulate < 1/32 of requests -> useless."""
+    profiler = StackProfiler(assoc=8, threshold_ratio=1.0 / 32.0)
+    # 3200 total requests; positions 0-2 take nearly all hits.
+    for _ in range(2000):
+        profiler.record_hit(0)
+    for _ in range(800):
+        profiler.record_hit(1)
+    for _ in range(301):
+        profiler.record_hit(2)
+    for position in (3, 4, 5, 6, 7):
+        for _ in range(back := 19):
+            profiler.record_hit(position)
+    profiler.record_miss()
+    # tail(3..7) = 95 hits < 3200/32 = 100 -> eager position 3.
+    assert profiler.compute_eager_position() == 3
+
+
+def test_tail_must_stay_under_budget():
+    profiler = StackProfiler(assoc=4, threshold_ratio=0.25)
+    for _ in range(50):
+        profiler.record_hit(0)
+    for _ in range(30):
+        profiler.record_hit(2)
+    for _ in range(20):
+        profiler.record_hit(3)
+    # total 100, budget 25: tail(3)=20 < 25; tail(2..3)=50 >= 25.
+    assert profiler.compute_eager_position() == 3
+
+
+def test_all_hits_at_mru_marks_everything_beyond_it_useless():
+    profiler = StackProfiler(assoc=8)
+    for _ in range(1000):
+        profiler.record_hit(0)
+    assert profiler.compute_eager_position() == 1
+
+
+def test_no_requests_means_nothing_useless():
+    profiler = StackProfiler(assoc=8)
+    assert profiler.compute_eager_position() == 8
+
+
+def test_misses_count_toward_total():
+    profiler = StackProfiler(assoc=4, threshold_ratio=0.5)
+    for _ in range(10):
+        profiler.record_hit(3)
+    # Without misses: tail(3)=10 vs budget 5 -> position 4.
+    assert profiler.compute_eager_position() == 4
+    for _ in range(90):
+        profiler.record_miss()
+    # Now budget = 50 > tail(everything)=10 -> position 0.
+    assert profiler.compute_eager_position() == 0
+
+
+def test_end_sample_period_publishes_and_resets():
+    profiler = StackProfiler(assoc=4, threshold_ratio=0.25)
+    for _ in range(100):
+        profiler.record_hit(0)
+    position = profiler.end_sample_period()
+    assert position == profiler.eager_position == 1
+    assert profiler.total_requests == 0
+    assert profiler.samples_taken == 1
+    assert profiler.is_useless_position(1)
+    assert not profiler.is_useless_position(0)
+
+
+def test_storage_bits_matches_paper():
+    """Section IV-E: 20-bit counters x (16 + 2) = 360 bits for the LLC."""
+    profiler = StackProfiler(assoc=16, sample_period_ns=500_000)
+    assert profiler.storage_bits == 360
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        StackProfiler(assoc=0)
+    with pytest.raises(ValueError):
+        StackProfiler(assoc=4, threshold_ratio=0.0)
+    with pytest.raises(ValueError):
+        StackProfiler(assoc=4, threshold_ratio=1.0)
+
+
+@given(
+    hits=st.lists(st.integers(min_value=0, max_value=7), max_size=300),
+    misses=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=60)
+def test_eager_position_tail_invariant(hits, misses):
+    """Property: the hits at positions >= eager_position always sum to less
+    than the threshold ratio of total requests (when any were recorded)."""
+    profiler = StackProfiler(assoc=8, threshold_ratio=1.0 / 32.0)
+    for h in hits:
+        profiler.record_hit(h)
+    for _ in range(misses):
+        profiler.record_miss()
+    position = profiler.compute_eager_position()
+    total = profiler.total_requests
+    if total == 0:
+        assert position == 8
+        return
+    tail = sum(profiler.hit_counters[position:])
+    assert tail < total / 32.0 or position == 8
+    # And one position earlier would violate the budget:
+    if position < 8:
+        wider = sum(profiler.hit_counters[max(0, position - 1):])
+        if position > 0:
+            assert wider >= total / 32.0

@@ -1,0 +1,84 @@
+"""Tests for the workload profiles (Table IV)."""
+
+import itertools
+
+import pytest
+
+from repro.cpu.trace import TraceRecord
+from repro.workloads.profiles import PROFILES, WORKLOAD_NAMES, get_profile
+
+
+def test_all_eleven_paper_workloads_present():
+    assert set(WORKLOAD_NAMES) == {
+        "leslie3d", "GemsFDTD", "libquantum", "hmmer", "zeusmp",
+        "bwaves", "milc", "mcf", "lbm", "stream", "gups",
+    }
+
+
+def test_get_profile_unknown_raises():
+    with pytest.raises(KeyError):
+        get_profile("nosuch")
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_traces_yield_valid_records(name):
+    trace = get_profile(name).trace(seed=3)
+    for record in itertools.islice(trace, 500):
+        assert isinstance(record, TraceRecord)
+        assert record.gap_insts >= 0
+        assert record.block >= 0
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_traces_are_deterministic(name):
+    profile = get_profile(name)
+    a = list(itertools.islice(profile.trace(seed=9), 200))
+    b = list(itertools.islice(profile.trace(seed=9), 200))
+    assert a == b
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_different_seeds_differ(name):
+    profile = get_profile(name)
+    a = list(itertools.islice(profile.trace(seed=1), 200))
+    b = list(itertools.islice(profile.trace(seed=2), 200))
+    assert a != b
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_mean_gap_matches_apki(name):
+    profile = get_profile(name)
+    n = 20_000
+    total_gap = sum(
+        r.gap_insts for r in itertools.islice(profile.trace(seed=5), n)
+    )
+    apki = 1000.0 * n / (total_gap + n)  # accesses per kilo-instruction
+    assert apki == pytest.approx(profile.apki, rel=0.15)
+
+
+def test_mcf_is_dependency_dominated():
+    trace = get_profile("mcf").trace(seed=4)
+    records = list(itertools.islice(trace, 5000))
+    dependent = sum(1 for r in records if r.dependent)
+    assert dependent / len(records) > 0.5
+
+
+def test_stream_write_third():
+    trace = get_profile("stream").trace(seed=4)
+    records = list(itertools.islice(trace, 9000))
+    writes = sum(1 for r in records if r.is_write)
+    assert writes / len(records) == pytest.approx(0.34, abs=0.05)
+
+
+def test_lbm_is_write_heavy():
+    trace = get_profile("lbm").trace(seed=4)
+    records = list(itertools.islice(trace, 9000))
+    writes = sum(1 for r in records if r.is_write)
+    assert writes / len(records) > 0.35
+
+
+def test_gups_alternates_read_write():
+    trace = get_profile("gups").trace(seed=4)
+    records = list(itertools.islice(trace, 9000))
+    writes = sum(1 for r in records if r.is_write)
+    assert 0.35 < writes / len(records) < 0.55

@@ -1,0 +1,101 @@
+"""Tests for Start-Gap wear leveling, including bijectivity properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.endurance.startgap import StartGap
+
+
+def test_initial_mapping_is_identity():
+    sg = StartGap(num_lines=8)
+    assert [sg.remap(i) for i in range(8)] == list(range(8))
+
+
+def test_gap_moves_every_psi_writes():
+    sg = StartGap(num_lines=8, psi=4)
+    assert sg.gap == 8
+    for _ in range(4):
+        sg.record_write()
+    assert sg.gap == 7
+    for _ in range(4):
+        sg.record_write()
+    assert sg.gap == 6
+
+
+def test_start_increments_after_full_gap_rotation():
+    sg = StartGap(num_lines=4, psi=1)
+    # The gap must travel from slot 4 down to 0, then wrap: 5 moves total.
+    for _ in range(5):
+        sg.record_write()
+    assert sg.start == 1
+    assert sg.gap == 4
+
+
+def test_remap_never_returns_gap_slot():
+    sg = StartGap(num_lines=16, psi=3)
+    for _ in range(500):
+        mapped = {sg.remap(i) for i in range(16)}
+        assert sg.gap not in mapped
+        sg.record_write()
+
+
+def test_remap_out_of_range_raises():
+    sg = StartGap(num_lines=4)
+    with pytest.raises(IndexError):
+        sg.remap(4)
+    with pytest.raises(IndexError):
+        sg.remap(-1)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        StartGap(num_lines=0)
+    with pytest.raises(ValueError):
+        StartGap(num_lines=4, psi=0)
+
+
+def test_extra_write_overhead_close_to_inverse_psi():
+    sg = StartGap(num_lines=64, psi=100)
+    for _ in range(10_000):
+        sg.record_write()
+    assert sg.extra_write_overhead == pytest.approx(0.01, rel=0.05)
+
+
+def test_overhead_zero_before_writes():
+    assert StartGap(num_lines=4).extra_write_overhead == 0.0
+
+
+@given(
+    num_lines=st.integers(min_value=1, max_value=64),
+    writes=st.integers(min_value=0, max_value=400),
+    psi=st.integers(min_value=1, max_value=7),
+)
+@settings(max_examples=60)
+def test_remap_is_injective_at_all_times(num_lines, writes, psi):
+    """Property: the logical->physical map is injective after any number of
+    writes (two logical lines never share a physical slot)."""
+    sg = StartGap(num_lines=num_lines, psi=psi)
+    for _ in range(writes):
+        sg.record_write()
+    mapped = [sg.remap(i) for i in range(num_lines)]
+    assert len(set(mapped)) == num_lines
+    assert all(0 <= m <= num_lines for m in mapped)
+
+
+@given(
+    num_lines=st.integers(min_value=2, max_value=32),
+    rounds=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40)
+def test_rotation_visits_every_slot(num_lines, rounds):
+    """Property: after enough writes every logical line has occupied
+    several distinct physical slots - wear actually spreads."""
+    sg = StartGap(num_lines=num_lines, psi=1)
+    slots_seen = {i: set() for i in range(num_lines)}
+    # One full start rotation takes (num_lines + 1) gap traversals.
+    for _ in range(rounds * (num_lines + 1) ** 2):
+        for logical in range(num_lines):
+            slots_seen[logical].add(sg.remap(logical))
+        sg.record_write()
+    for logical, seen in slots_seen.items():
+        assert len(seen) >= min(num_lines, 2)

@@ -1,0 +1,188 @@
+"""Integration tests: the full system (core + LLC + controller + wear).
+
+These use reduced windows (a few thousand LLC accesses) so the whole file
+runs in seconds while still exercising every mechanism end to end.
+"""
+
+import pytest
+
+from repro import SimConfig, run_simulation
+from repro.sim.system import System
+
+# A 256 KB LLC fills within the short warmup, so writebacks and eager
+# writes flow; mechanism behaviour is identical to the 2 MB configuration.
+FAST = dict(warmup_accesses=8000, measure_accesses=15000,
+            llc_size_bytes=256 * 1024)
+
+
+def run(workload="GemsFDTD", policy="Norm", **kwargs):
+    merged = dict(FAST)
+    merged.update(kwargs)
+    return run_simulation(SimConfig(workload=workload, policy=policy, **merged))
+
+
+class TestBasicInvariants:
+    @pytest.mark.parametrize("policy", [
+        "Norm", "Slow+SC", "B-Mellow+SC", "BE-Mellow+SC", "E-Norm+NC",
+    ])
+    def test_sane_metrics(self, policy):
+        r = run(policy=policy)
+        assert r.ipc > 0
+        assert r.window_ns > 0
+        assert 0 <= r.bank_utilization <= 1.0
+        assert 0 <= r.drain_fraction <= 1.0
+        assert r.lifetime_years > 0
+        assert r.instructions > 0
+        assert r.accesses == FAST["measure_accesses"]
+
+    def test_determinism(self):
+        a = run(policy="BE-Mellow+SC")
+        b = run(policy="BE-Mellow+SC")
+        assert a.ipc == b.ipc
+        assert a.lifetime_years == b.lifetime_years
+        assert a.writes_issued_slow == b.writes_issued_slow
+        assert a.cancellations == b.cancellations
+
+    def test_seed_changes_results(self):
+        a = run(seed=1)
+        b = run(seed=2)
+        assert a.ipc != b.ipc
+
+    def test_request_conservation(self):
+        """Reads issued to banks >= reads from LLC (cancels re-read nothing;
+        every LLC miss produces exactly one fill read)."""
+        r = run(policy="Norm")
+        assert r.reads_issued >= r.llc_misses * 0.95
+        assert r.read_row_hits + r.read_row_misses == r.reads_issued
+
+
+class TestPolicyBehaviour:
+    def test_norm_issues_no_slow_writes(self):
+        r = run(policy="Norm")
+        assert r.writes_issued_slow == 0
+        assert r.writes_issued_normal > 0
+
+    def test_slow_issues_no_normal_writes(self):
+        r = run(policy="Slow+SC")
+        assert r.writes_issued_normal == 0
+        assert r.writes_issued_slow > 0
+
+    def test_slow_extends_lifetime(self):
+        norm = run(policy="Norm")
+        slow = run(policy="Slow+SC")
+        assert slow.lifetime_years > norm.lifetime_years * 2
+
+    def test_bank_aware_mixes_speeds(self):
+        r = run(policy="B-Mellow+SC", workload="lbm")
+        assert r.writes_issued_slow > 0
+        assert r.writes_issued_normal > 0
+
+    def test_bank_aware_improves_lifetime_cheaply(self):
+        norm = run(policy="Norm")
+        mellow = run(policy="B-Mellow+SC")
+        assert mellow.lifetime_years > norm.lifetime_years
+        assert mellow.ipc > norm.ipc * 0.9
+
+    def test_eager_only_with_eager_policy(self):
+        assert run(policy="Norm").eager_writebacks == 0
+        assert run(policy="B-Mellow+SC").eager_writebacks == 0
+        assert run(policy="BE-Mellow+SC").eager_writebacks > 0
+
+    def test_eager_writes_are_slow_except_e_norm(self):
+        be = run(policy="BE-Mellow+SC")
+        assert be.eager_issued > 0
+        e_norm = run(policy="E-Norm+NC")
+        assert e_norm.writes_issued_slow == 0   # eager but at normal speed
+
+    def test_cancellations_only_with_cancellable_policy(self):
+        assert run(policy="Slow").cancellations == 0
+        assert run(policy="Slow+SC").cancellations > 0
+
+    def test_e_norm_nc_shortest_lifetime(self):
+        """Figure 11's headline: eager + cancellation at normal speed costs
+        lifetime (extra writes, no endurance benefit)."""
+        norm = run(policy="Norm")
+        e_norm = run(policy="E-Norm+NC")
+        assert e_norm.lifetime_years < norm.lifetime_years
+
+
+class TestWearQuota:
+    def test_quota_forces_slow_writes_on_heavy_workload(self):
+        r = run(workload="lbm", policy="Norm+WQ")
+        assert r.writes_issued_slow > 0
+
+    def test_quota_lengthens_lifetime_of_heavy_workload(self):
+        # A shorter sample period lets the gate engage several times within
+        # the reduced test window.
+        norm = run(workload="lbm", policy="Norm", sample_period_ns=50_000)
+        quota = run(workload="lbm", policy="Norm+WQ", sample_period_ns=50_000)
+        assert quota.lifetime_years > norm.lifetime_years * 1.5
+
+    def test_quota_idle_on_light_workload(self):
+        norm = run(workload="hmmer", policy="Norm")
+        quota = run(workload="hmmer", policy="Norm+WQ")
+        # hmmer is far under quota: behaviour should be unchanged.
+        assert quota.writes_issued_slow == 0
+        assert quota.ipc == pytest.approx(norm.ipc, rel=0.02)
+
+
+class TestExpoReevaluation:
+    def test_default_expo_matches_recorded_lifetime(self):
+        r = run(policy="BE-Mellow+SC")
+        assert r.lifetime_for_expo(2.0) == pytest.approx(
+            r.lifetime_years, rel=1e-9
+        )
+
+    def test_norm_lifetime_independent_of_expo(self):
+        """A system issuing only normal writes wears identically under any
+        exponent."""
+        r = run(policy="Norm")
+        assert r.lifetime_for_expo(1.0) == pytest.approx(
+            r.lifetime_for_expo(3.0)
+        )
+
+    def test_slow_lifetime_grows_with_expo(self):
+        r = run(policy="Slow+SC")
+        lives = [r.lifetime_for_expo(e) for e in (1.0, 1.5, 2.0, 2.5, 3.0)]
+        assert lives == sorted(lives)
+        assert lives[-1] > lives[0] * 2
+
+
+class TestBankSensitivity:
+    def test_fewer_banks_higher_utilization(self):
+        wide = run(num_banks=16, num_ranks=4)
+        narrow = run(num_banks=4, num_ranks=1)
+        assert narrow.bank_utilization > wide.bank_utilization
+
+    def test_fewer_banks_fewer_eager_writes(self):
+        wide = run(policy="BE-Mellow+SC", num_banks=16, num_ranks=4)
+        narrow = run(policy="BE-Mellow+SC", num_banks=4, num_ranks=1)
+        assert narrow.eager_issued < wide.eager_issued
+
+
+class TestEnergyAccounting:
+    def test_energy_positive_and_decomposed(self):
+        r = run(policy="BE-Mellow+SC")
+        assert r.read_energy_pj > 0
+        assert r.write_energy_pj > 0
+        assert r.total_energy_pj == r.read_energy_pj + r.write_energy_pj
+
+    def test_mellow_writes_cost_more_write_energy(self):
+        norm = run(policy="Norm", workload="GemsFDTD")
+        mellow = run(policy="BE-Mellow+SC", workload="GemsFDTD")
+        assert mellow.write_energy_pj > norm.write_energy_pj
+
+
+class TestSystemConstruction:
+    def test_invalid_workload(self):
+        with pytest.raises(KeyError):
+            System(SimConfig(workload="nosuch"))
+
+    def test_invalid_windows(self):
+        with pytest.raises(ValueError):
+            SimConfig(workload="lbm", measure_accesses=0)
+
+    def test_scaled_config(self):
+        cfg = SimConfig(workload="lbm").scaled(0.1)
+        assert cfg.measure_accesses == 12000
+        assert cfg.warmup_accesses == 3000

@@ -1,0 +1,49 @@
+"""Tests for Table II timing constants."""
+
+import pytest
+
+from repro.memory.timing import MemoryTiming
+
+
+def test_default_table_ii_values():
+    timing = MemoryTiming()
+    assert timing.t_rcd_ns == 120
+    assert timing.t_cas_ns == 2.5
+    assert timing.t_wp_normal_ns == 150
+    assert timing.burst_ns == 20
+    assert timing.slow_factor == 3.0
+
+
+@pytest.mark.parametrize("factor,expected", [
+    (1.5, 225), (2.0, 300), (3.0, 450),
+])
+def test_slow_write_pulse_ladder(factor, expected):
+    """Table II: 90/120/180 memory cycles for 1.5/2.0/3.0x writes."""
+    timing = MemoryTiming.with_slow_factor(factor)
+    assert timing.write_pulse_ns(True) == pytest.approx(expected)
+    assert timing.write_pulse_ns(False) == 150
+
+
+def test_write_factor():
+    timing = MemoryTiming()
+    assert timing.write_factor(False) == 1.0
+    assert timing.write_factor(True) == 3.0
+
+
+def test_read_service_row_hit_vs_miss():
+    timing = MemoryTiming()
+    hit = timing.read_service_ns(row_hit=True)
+    miss = timing.read_service_ns(row_hit=False)
+    assert hit == pytest.approx(22.5)          # tCAS + burst
+    assert miss == pytest.approx(142.5)        # + tRCD
+
+
+def test_write_service_includes_burst():
+    timing = MemoryTiming()
+    assert timing.write_service_ns(False) == pytest.approx(170)
+    assert timing.write_service_ns(True) == pytest.approx(470)
+
+
+def test_invalid_slow_factor():
+    with pytest.raises(ValueError):
+        MemoryTiming.with_slow_factor(0.5)

@@ -1,0 +1,38 @@
+"""Tests for trace records and replay."""
+
+import pytest
+
+from repro.cpu.trace import TraceRecord, replay
+
+
+def test_valid_record():
+    r = TraceRecord(gap_insts=10, block=5, is_write=False, dependent=True)
+    assert r.gap_insts == 10
+
+
+def test_negative_gap_rejected():
+    with pytest.raises(ValueError):
+        TraceRecord(gap_insts=-1, block=0, is_write=False)
+
+
+def test_negative_block_rejected():
+    with pytest.raises(ValueError):
+        TraceRecord(gap_insts=0, block=-1, is_write=False)
+
+
+def test_dependent_store_rejected():
+    with pytest.raises(ValueError):
+        TraceRecord(gap_insts=0, block=0, is_write=True, dependent=True)
+
+
+def test_replay_cycles():
+    records = [TraceRecord(1, 0, False), TraceRecord(2, 1, True)]
+    out = list(replay(records, repeats=3))
+    assert len(out) == 6
+    assert out[0] == out[2] == out[4]
+
+
+def test_replay_consumes_iterables():
+    gen = (TraceRecord(i, i, False) for i in range(3))
+    out = list(replay(gen, repeats=2))
+    assert len(out) == 6

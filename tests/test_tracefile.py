@@ -1,0 +1,81 @@
+"""Tests for trace file save/load."""
+
+import itertools
+
+import pytest
+
+from repro.cpu.trace import TraceRecord
+from repro.cpu.tracefile import load_trace, record_workload, save_trace
+
+
+def sample_records():
+    return [
+        TraceRecord(10, 100, False),
+        TraceRecord(0, 200, True),
+        TraceRecord(5, 300, False, dependent=True),
+    ]
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "trace.txt"
+    written = save_trace(sample_records(), path)
+    assert written == 3
+    assert list(load_trace(path)) == sample_records()
+
+
+def test_gzip_roundtrip(tmp_path):
+    path = tmp_path / "trace.txt.gz"
+    save_trace(sample_records(), path)
+    assert list(load_trace(path)) == sample_records()
+    # And the file really is gzip'd.
+    assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+
+def test_limit_bounds_infinite_traces(tmp_path):
+    def infinite():
+        while True:
+            yield TraceRecord(1, 7, False)
+
+    path = tmp_path / "trace.txt"
+    assert save_trace(infinite(), path, limit=50) == 50
+    assert len(list(load_trace(path))) == 50
+
+
+def test_comments_and_blank_lines_ignored(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("# header\n\n3 42 R\n# trailing\n0 43 W\n")
+    records = list(load_trace(path))
+    assert records == [TraceRecord(3, 42, False), TraceRecord(0, 43, True)]
+
+
+def test_bad_kind_rejected(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("1 2 X\n")
+    with pytest.raises(ValueError, match="must be R or W"):
+        list(load_trace(path))
+
+
+def test_bad_field_count_rejected(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("1 2\n")
+    with pytest.raises(ValueError, match="expected 3-4 fields"):
+        list(load_trace(path))
+
+
+def test_bad_dependent_flag_rejected(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("1 2 R Q\n")
+    with pytest.raises(ValueError, match="must be D"):
+        list(load_trace(path))
+
+
+def test_record_workload(tmp_path):
+    path = tmp_path / "lbm.txt"
+    count = record_workload("lbm", path, count=200, seed=4)
+    assert count == 200
+    records = list(load_trace(path))
+    assert len(records) == 200
+    # Identical to generating the trace directly.
+    from repro.workloads.profiles import get_profile
+    direct = list(itertools.islice(get_profile("lbm").trace(4), 200))
+    assert records == direct

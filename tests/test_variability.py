@@ -1,0 +1,102 @@
+"""Tests for endurance variability + ECC order-statistics model."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.endurance.variability import EnduranceVariability, _normal_quantile
+
+
+class TestNormalQuantile:
+    @pytest.mark.parametrize("p,z", [
+        (0.5, 0.0), (0.8413, 1.0), (0.1587, -1.0),
+        (0.9772, 2.0), (0.00135, -3.0),
+    ])
+    def test_known_points(self, p, z):
+        assert _normal_quantile(p) == pytest.approx(z, abs=2e-3)
+
+    def test_symmetry(self):
+        assert _normal_quantile(0.3) == pytest.approx(
+            -_normal_quantile(0.7), abs=1e-9,
+        )
+
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            _normal_quantile(0.0)
+        with pytest.raises(ValueError):
+            _normal_quantile(1.0)
+
+    @given(p=st.floats(min_value=1e-6, max_value=1 - 1e-6))
+    @settings(max_examples=100)
+    def test_monotone(self, p):
+        assert _normal_quantile(p) <= _normal_quantile(min(1 - 1e-7, p + 1e-6)) + 1e-6
+
+
+class TestVariability:
+    def test_deterministic_when_sigma_zero(self):
+        model = EnduranceVariability(sigma=0.0)
+        assert model.weakest_block_endurance(10 ** 6) == 5e6
+        assert model.lifetime_scale_factor(10 ** 6) == 1.0
+
+    def test_variation_shrinks_first_death(self):
+        """The weakest of a million lognormal blocks dies far below median."""
+        model = EnduranceVariability(sigma=0.5)
+        weakest = model.weakest_block_endurance(10 ** 6)
+        assert weakest < 5e6 * 0.2
+        assert weakest > 0
+
+    def test_more_blocks_weaker_minimum(self):
+        model = EnduranceVariability(sigma=0.5)
+        assert (model.weakest_block_endurance(10 ** 6)
+                < model.weakest_block_endurance(10 ** 3))
+
+    def test_ecc_recovers_lifetime(self):
+        none = EnduranceVariability(sigma=0.5, tolerated_failures=0)
+        ecc = EnduranceVariability(sigma=0.5, tolerated_failures=100)
+        n = 10 ** 6
+        assert (ecc.weakest_block_endurance(n)
+                > none.weakest_block_endurance(n) * 1.3)
+        assert ecc.ecc_gain(n) > 1.3
+
+    def test_ecc_gain_is_one_without_variation(self):
+        assert EnduranceVariability(sigma=0.0,
+                                    tolerated_failures=50).ecc_gain(1000) == 1.0
+
+    def test_order_statistic_against_monte_carlo(self):
+        """Blom's approximation tracks an empirical minimum."""
+        rng = random.Random(7)
+        sigma, n = 0.4, 2000
+        minima = []
+        for _ in range(60):
+            samples = [math.exp(sigma * rng.gauss(0, 1)) for _ in range(n)]
+            minima.append(min(samples))
+        empirical = sum(minima) / len(minima)
+        model = EnduranceVariability(median_endurance=1.0, sigma=sigma)
+        predicted = model.weakest_block_endurance(n)
+        assert predicted == pytest.approx(empirical, rel=0.15)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            EnduranceVariability(median_endurance=0)
+        with pytest.raises(ValueError):
+            EnduranceVariability(sigma=-1)
+        with pytest.raises(ValueError):
+            EnduranceVariability(tolerated_failures=-1)
+        with pytest.raises(ValueError):
+            EnduranceVariability().weakest_block_endurance(0)
+
+    def test_scale_factor_composes_with_run_results(self):
+        """End-to-end: variability rescales a simulated lifetime."""
+        from repro import SimConfig, run_simulation
+        result = run_simulation(SimConfig(
+            workload="lbm", policy="Norm", warmup_accesses=5000,
+            measure_accesses=10000, llc_size_bytes=256 * 1024,
+            functional_warmup_max=30000,
+        ))
+        model = EnduranceVariability(sigma=0.5, tolerated_failures=1000)
+        scaled = result.lifetime_years * model.lifetime_scale_factor(
+            result.blocks_per_bank,
+        )
+        assert 0 < scaled < result.lifetime_years

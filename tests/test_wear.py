@@ -1,0 +1,138 @@
+"""Tests for wear tracking and lifetime computation."""
+
+import math
+
+import pytest
+
+from repro import params
+from repro.endurance.model import EnduranceModel
+from repro.endurance.wear import BankWearRecord, WearTracker
+
+
+def make_tracker(**kwargs):
+    defaults = dict(num_banks=2, blocks_per_bank=1000)
+    defaults.update(kwargs)
+    return WearTracker(**defaults)
+
+
+def test_record_and_damage_normal_writes():
+    tracker = make_tracker()
+    for _ in range(10):
+        tracker.record_write(0, 1.0)
+    assert tracker.bank_damage(0) == pytest.approx(10.0)
+    assert tracker.bank_damage(1) == 0.0
+
+
+def test_slow_writes_deposit_less_damage():
+    tracker = make_tracker()
+    tracker.record_write(0, 3.0)
+    assert tracker.bank_damage(0) == pytest.approx(1.0 / 9.0)
+
+
+def test_fractional_wear_for_cancelled_attempts():
+    tracker = make_tracker()
+    tracker.record_write(0, 1.0, fraction=0.25)
+    assert tracker.bank_damage(0) == pytest.approx(0.25)
+
+
+def test_lifetime_formula():
+    """lifetime = window * eta * N_blk * E / damage."""
+    tracker = make_tracker(leveling_efficiency=0.9)
+    for _ in range(100):
+        tracker.record_write(0, 1.0)
+    window_ns = 1e6
+    expected = window_ns * 0.9 * 1000 * params.BASE_ENDURANCE / 100
+    assert tracker.bank_lifetime_ns(0, window_ns) == pytest.approx(expected)
+
+
+def test_system_lifetime_is_worst_bank():
+    tracker = make_tracker()
+    tracker.record_write(0, 1.0)
+    for _ in range(10):
+        tracker.record_write(1, 1.0)
+    assert tracker.system_lifetime_ns(1e6) == pytest.approx(
+        tracker.bank_lifetime_ns(1, 1e6)
+    )
+
+
+def test_unwritten_bank_lives_forever():
+    tracker = make_tracker()
+    assert tracker.bank_lifetime_ns(0, 1e6) == float("inf")
+
+
+def test_lifetime_years_conversion():
+    tracker = make_tracker()
+    tracker.record_write(0, 1.0)
+    years = tracker.system_lifetime_years(1e6)
+    assert years == pytest.approx(
+        tracker.system_lifetime_ns(1e6) / params.NS_PER_YEAR
+    )
+
+
+def test_slow_writes_extend_lifetime_quadratically():
+    """The headline trade-off: all-slow at 3x lives 9x longer (expo=2)."""
+    fast = make_tracker()
+    slow = make_tracker()
+    for _ in range(100):
+        fast.record_write(0, 1.0)
+        slow.record_write(0, 3.0)
+    ratio = slow.bank_lifetime_ns(0, 1e6) / fast.bank_lifetime_ns(0, 1e6)
+    assert ratio == pytest.approx(9.0)
+
+
+def test_expo_factor_reevaluation():
+    """The same record evaluates differently under different exponents."""
+    record = BankWearRecord()
+    record.add(3.0, 90.0)
+    quadratic = EnduranceModel(expo_factor=2.0)
+    linear = EnduranceModel(expo_factor=1.0)
+    assert record.damage(quadratic) == pytest.approx(10.0)
+    assert record.damage(linear) == pytest.approx(30.0)
+
+
+def test_record_total_writes():
+    record = BankWearRecord()
+    record.add(1.0)
+    record.add(3.0, 2.0)
+    assert record.total_writes == pytest.approx(3.0)
+
+
+def test_detailed_mode_tracks_blocks():
+    tracker = make_tracker(detailed=True, blocks_per_bank=16)
+    for _ in range(5):
+        tracker.record_write(0, 1.0, block=3)
+    assert tracker.detailed_max_damage(0) > 0
+    assert tracker.detailed_max_damage(1) == 0
+
+
+def test_detailed_mode_start_gap_spreads_wear():
+    """With psi=1 rotation, hammering one block spreads damage around."""
+    tracker = make_tracker(
+        detailed=True, blocks_per_bank=8, start_gap_psi=1,
+    )
+    for _ in range(200):
+        tracker.record_write(0, 1.0, block=0)
+    damaged_slots = sum(1 for d in tracker.block_damage[0] if d > 0)
+    assert damaged_slots >= 8
+
+
+def test_detailed_disabled_raises():
+    tracker = make_tracker()
+    with pytest.raises(RuntimeError):
+        tracker.detailed_max_damage(0)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        WearTracker(num_banks=0, blocks_per_bank=10)
+    with pytest.raises(ValueError):
+        WearTracker(num_banks=1, blocks_per_bank=0)
+    with pytest.raises(ValueError):
+        WearTracker(num_banks=1, blocks_per_bank=1, leveling_efficiency=0.0)
+
+
+def test_total_writes_across_banks():
+    tracker = make_tracker()
+    tracker.record_write(0, 1.0)
+    tracker.record_write(1, 3.0)
+    assert tracker.total_writes() == pytest.approx(2.0)

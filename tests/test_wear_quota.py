@@ -1,0 +1,116 @@
+"""Tests for the Wear Quota mechanism (Section IV-C)."""
+
+import pytest
+
+from repro import params
+from repro.core.wear_quota import WearQuota
+
+
+def make_quota(**kwargs):
+    defaults = dict(
+        num_banks=2,
+        blocks_per_bank=1000,
+        endurance_per_block=1e6,
+        target_lifetime_years=8.0,
+        period_ns=500_000,
+        ratio_quota=0.9,
+    )
+    defaults.update(kwargs)
+    return WearQuota(**defaults)
+
+
+def test_wear_bound_formula():
+    """WearBound_bank = BlkNum * Endur * T_sample / T_life * Ratio."""
+    quota = make_quota()
+    t_life_ns = 8.0 * params.NS_PER_YEAR
+    expected = 1000 * 1e6 * 500_000 / t_life_ns * 0.9
+    assert quota.wear_bound_bank == pytest.approx(expected)
+
+
+def test_no_gating_before_first_period():
+    quota = make_quota()
+    assert not quota.is_slow_only(0)
+
+
+def test_gating_when_quota_exceeded():
+    quota = make_quota()
+    quota.record_wear(0, quota.wear_bound_bank * 5)
+    quota.start_period()
+    assert quota.is_slow_only(0)
+    assert not quota.is_slow_only(1)
+
+
+def test_no_gating_when_under_quota():
+    quota = make_quota()
+    quota.record_wear(0, quota.wear_bound_bank * 0.5)
+    quota.start_period()
+    assert not quota.is_slow_only(0)
+
+
+def test_budget_accumulates_across_periods():
+    """A quiet period earns budget that a later burst can spend."""
+    quota = make_quota()
+    quota.start_period()               # period 1: no wear
+    quota.record_wear(0, quota.wear_bound_bank * 1.5)
+    quota.start_period()               # period 2: 1.5x one period's bound
+    # Cumulative wear 1.5*bound vs budget 2*bound -> not gated.
+    assert not quota.is_slow_only(0)
+
+
+def test_exceed_quota_value():
+    quota = make_quota()
+    quota.record_wear(0, 42.0)
+    quota.start_period()
+    assert quota.exceed_quota(0) == pytest.approx(42.0 - quota.wear_bound_bank)
+
+
+def test_gate_reopens_after_recovery():
+    quota = make_quota()
+    quota.record_wear(0, quota.wear_bound_bank * 1.5)
+    quota.start_period()
+    assert quota.is_slow_only(0)
+    quota.start_period()   # a quiet period: budget catches up
+    assert not quota.is_slow_only(0)
+
+
+def test_slow_only_periods_counter():
+    quota = make_quota()
+    quota.record_wear(0, quota.wear_bound_bank * 10)
+    quota.record_wear(1, quota.wear_bound_bank * 10)
+    quota.start_period()
+    assert quota.slow_only_periods == 2
+
+
+def test_reset_statistics_clears_wear_but_keeps_gates():
+    quota = make_quota()
+    quota.record_wear(0, quota.wear_bound_bank * 100)
+    quota.start_period()
+    assert quota.is_slow_only(0)
+    quota.reset_statistics()
+    assert quota.cumulative_wear == [0.0, 0.0]
+    assert quota.previous_periods == 0
+    # The gate is control state, not a statistic: it survives the reset so
+    # the measurement window does not start with an ungated burst.
+    assert quota.is_slow_only(0)
+    # ...and is recomputed (from the cleared wear) at the next period.
+    quota.start_period()
+    assert not quota.is_slow_only(0)
+
+
+def test_eight_year_rate_is_sustainable():
+    """Writing at exactly the 8-year-lifetime rate never trips the gate."""
+    quota = make_quota()
+    steady = quota.wear_bound_bank * 0.999
+    for _ in range(50):
+        quota.record_wear(0, steady)
+        quota.start_period()
+        assert not quota.is_slow_only(0)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        make_quota(num_banks=0)
+    with pytest.raises(ValueError):
+        make_quota(target_lifetime_years=0)
+    with pytest.raises(ValueError):
+        make_quota(ratio_quota=1.5)

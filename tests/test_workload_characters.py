@@ -1,0 +1,101 @@
+"""Validation of workload *character*, beyond MPKI.
+
+docs/workloads.md documents per-workload write intensity, dependence and
+locality choices; these tests measure them from the traces so profile
+edits cannot silently change a workload's nature.
+"""
+
+import itertools
+
+import pytest
+
+from repro.memory.address import AddressMap
+from repro.workloads.profiles import WORKLOAD_NAMES, get_profile
+
+AMAP = AddressMap()
+SAMPLE = 12_000
+
+
+def sample(name, n=SAMPLE, seed=5):
+    return list(itertools.islice(get_profile(name).trace(seed), n))
+
+
+def write_fraction(records):
+    return sum(1 for r in records if r.is_write) / len(records)
+
+
+def dependence_fraction(records):
+    return sum(1 for r in records if r.dependent) / len(records)
+
+
+def bank_spread(records):
+    """Fraction of banks receiving at least 2% of accesses."""
+    counts = [0] * AMAP.num_banks
+    for r in records:
+        counts[AMAP.bank_of(r.block)] += 1
+    busy = sum(1 for c in counts if c >= 0.02 * len(records))
+    return busy / AMAP.num_banks
+
+
+def sequentiality(records):
+    """Fraction of accesses spatially adjacent (+-2 distinct blocks) to a
+    recent access; same-block reuse (e.g. gups' read-modify-write pairs)
+    does not count as spatial locality."""
+    hits = 0
+    recent = []
+    for r in records:
+        if any(1 <= abs(r.block - b) <= 2 for b in recent):
+            hits += 1
+        recent.append(r.block)
+        if len(recent) > 64:
+            recent.pop(0)
+    return hits / len(records)
+
+
+class TestWriteIntensity:
+    def test_lbm_is_the_write_monster(self):
+        fractions = {name: write_fraction(sample(name))
+                     for name in WORKLOAD_NAMES}
+        assert fractions["lbm"] >= max(
+            f for n, f in fractions.items() if n not in ("lbm", "gups")
+        ) - 0.05
+
+    def test_read_dominated_workloads(self):
+        for name in ("mcf", "libquantum", "bwaves"):
+            assert write_fraction(sample(name)) < 0.35, name
+
+    def test_gups_alternation(self):
+        assert write_fraction(sample("gups")) == pytest.approx(0.45, abs=0.1)
+
+
+class TestDependence:
+    def test_mcf_most_dependent(self):
+        fractions = {name: dependence_fraction(sample(name))
+                     for name in WORKLOAD_NAMES}
+        assert fractions["mcf"] == max(fractions.values())
+        assert fractions["mcf"] > 0.4
+
+    def test_stream_independent(self):
+        assert dependence_fraction(sample("stream")) == 0.0
+
+    def test_gups_updates_pipeline(self):
+        # Updates are modeled independent (they can overlap).
+        assert dependence_fraction(sample("gups")) < 0.05
+
+
+class TestLocality:
+    def test_streaming_workloads_are_sequential(self):
+        for name in ("stream", "lbm", "libquantum"):
+            assert sequentiality(sample(name)) > 0.5, name
+
+    def test_random_workloads_are_not(self):
+        for name in ("mcf", "gups"):
+            assert sequentiality(sample(name)) < 0.3, name
+
+
+class TestBankSpread:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_every_workload_exercises_most_banks(self, name):
+        """Cacheline interleaving spreads every profile across banks -
+        the premise of bank-level parallelism (Section VI-H)."""
+        assert bank_spread(sample(name)) > 0.8, name
