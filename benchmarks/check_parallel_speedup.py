@@ -1,0 +1,64 @@
+"""Measure the parallel sweep engine's speedup on an 8-run grid.
+
+Runs the same workload x policy grid twice from cold caches - once with
+one worker, once with REPRO_JOBS (or all cores) - verifies the results are
+identical, and reports the wall-clock ratio.  On a machine with >= 4 cores
+the ratio is asserted to clear ``REPRO_SPEEDUP_MIN`` (default 2.0); on
+smaller machines the script only reports, since there is no parallelism
+to win.
+
+    PYTHONPATH=src python benchmarks/check_parallel_speedup.py
+"""
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.runner import Runner, default_jobs, result_to_dict
+from repro.sim.config import SimConfig
+
+# An 8-run grid at ~0.4x windows: heavy enough that pool startup is noise,
+# light enough for CI (~1 min serial).
+GRID = [
+    SimConfig(workload=workload, policy=policy,
+              warmup_accesses=12_000, measure_accesses=48_000)
+    for workload in ("hmmer", "lbm")
+    for policy in ("Norm", "Slow+SC", "B-Mellow+SC", "BE-Mellow+SC")
+]
+
+
+def timed_sweep(jobs: int, cache_dir: Path):
+    start = time.perf_counter()
+    results = Runner(cache_dir=cache_dir).sweep(GRID, jobs=jobs)
+    return time.perf_counter() - start, [result_to_dict(r) for r in results]
+
+
+def main() -> int:
+    jobs = max(2, default_jobs())
+    minimum = float(os.environ.get("REPRO_SPEEDUP_MIN", "2.0"))
+    with tempfile.TemporaryDirectory() as tmp:
+        serial_s, serial = timed_sweep(1, Path(tmp) / "serial")
+        parallel_s, parallel = timed_sweep(jobs, Path(tmp) / "parallel")
+    if serial != parallel:
+        print("FAIL: parallel results differ from serial", file=sys.stderr)
+        return 1
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    print(f"grid: {len(GRID)} runs | serial {serial_s:.1f}s | "
+          f"parallel({jobs} jobs) {parallel_s:.1f}s | speedup {speedup:.2f}x")
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        print(f"only {cores} cores: speedup is informational")
+        return 0
+    if speedup < minimum:
+        print(f"FAIL: speedup {speedup:.2f}x < required {minimum:.1f}x",
+              file=sys.stderr)
+        return 1
+    print(f"OK: speedup clears {minimum:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,11 @@ regenerate the numbers recorded in EXPERIMENTS.md.
 
 Simulation results are cached on disk (``.repro_cache``), so figures that
 share runs (10-16) simulate each configuration once.
+
+Benches opt into parallel sweeps: cache misses fan out over REPRO_JOBS
+worker processes (all cores unless the environment says otherwise).
+Results are bit-identical to serial runs, so the cache stays valid either
+way.
 """
 
 import os
@@ -15,6 +20,7 @@ from pathlib import Path
 import pytest
 
 os.environ.setdefault("REPRO_SCALE", "0.4")
+os.environ.setdefault("REPRO_JOBS", str(os.cpu_count() or 1))
 
 RESULTS_DIR = Path(__file__).parent / "results"
 

@@ -66,7 +66,7 @@ def test_abl_quota_period(benchmark, save_table):
     # gating opportunities to move lbm off its ~2.3-year baseline.
     assert lifetimes == sorted(lifetimes, reverse=True)
     assert lifetimes[0] > 5.0
-    assert all(l > 2.0 for l in lifetimes)
+    assert all(life > 2.0 for life in lifetimes)
 
 
 def test_abl_dram_buffer(benchmark, save_table):

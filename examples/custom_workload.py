@@ -12,7 +12,6 @@ Usage:
     python examples/custom_workload.py
 """
 
-import itertools
 import os
 import tempfile
 from pathlib import Path

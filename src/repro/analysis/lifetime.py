@@ -8,7 +8,7 @@ lifetime under *every* Expo_Factor via the recorded per-bank write mix.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 from repro import params
 from repro.sim.stats import RunResult

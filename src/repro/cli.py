@@ -86,6 +86,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_progress(event) -> None:
+    source = "cache" if event.from_cache else "sim"
+    print(
+        f"[{event.completed}/{event.total}] "
+        f"{event.config.workload}/{event.config.policy_name} ({source})",
+        file=sys.stderr,
+    )
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     workloads = (args.workloads.split(",") if args.workloads
                  else list(WORKLOAD_NAMES))
@@ -93,19 +102,53 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 else list(PAPER_POLICY_NAMES))
     for name in policies:
         parse_policy(name)   # fail fast on typos
-    runner = Runner()
-    results = []
     from repro.workloads.mix import MIXES
     for workload in workloads:
         if workload not in PROFILES and workload not in MIXES:
             print(f"unknown workload: {workload}", file=sys.stderr)
             return 2
-        for policy in policies:
-            results.append(
-                runner.run(_config_from_args(args, workload, policy))
-            )
+    configs = [
+        _config_from_args(args, workload, policy)
+        for workload in workloads for policy in policies
+    ]
+    progress = None if args.quiet else _print_progress
+    results = Runner().sweep(configs, jobs=args.jobs, progress=progress)
     print(render(_result_table(results)))
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import (
+        cache_clear,
+        cache_stats,
+        cache_verify,
+        resolve_cache_dir,
+    )
+    cache_dir = resolve_cache_dir(args.cache_dir)
+    if args.action == "stats":
+        stats = cache_stats(cache_dir)
+        table = Table(title=f"Result cache: {stats['cache_dir']}",
+                      columns=["stat", "value"])
+        table.add_row("entries", stats["entries"])
+        table.add_row("total_bytes", stats["total_bytes"])
+        table.add_row("valid", stats["valid"])
+        table.add_row("invalid", stats["invalid"])
+        for schema, count in sorted(stats["schema_versions"].items()):
+            table.add_row(f"schema {schema}", count)
+        print(render(table))
+        return 0
+    if args.action == "verify":
+        report = cache_verify(cache_dir)
+        print(f"{report['ok']} entries ok in {report['cache_dir']}")
+        for bad in report["bad"]:
+            print(f"BAD {bad['path']}: {bad['error']}", file=sys.stderr)
+        return 1 if report["bad"] else 0
+    if args.action == "clear":
+        removed = cache_clear(cache_dir)
+        print(f"removed {removed} files from {cache_dir}")
+        return 0
+    print(f"unknown cache action {args.action!r}", file=sys.stderr)
+    return 2
 
 
 def _emit_table(table, output: Optional[str]) -> None:
@@ -217,7 +260,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--seed", type=int, default=1)
     sweep_parser.add_argument("--measure", type=int, default=None)
     sweep_parser.add_argument("--scale", type=float, default=1.0)
+    sweep_parser.add_argument("--jobs", type=int, default=None,
+                              help="parallel workers (default REPRO_JOBS "
+                                   "or all cores)")
+    sweep_parser.add_argument("--quiet", action="store_true",
+                              help="suppress per-run progress on stderr")
     sweep_parser.set_defaults(handler=cmd_sweep)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or maintain the result cache",
+    )
+    cache_parser.add_argument("action", choices=["stats", "verify", "clear"])
+    cache_parser.add_argument("--cache-dir", default=None,
+                              help="cache location (default REPRO_CACHE_DIR "
+                                   "or .repro_cache)")
+    cache_parser.set_defaults(handler=cmd_cache)
 
     figure_parser = subparsers.add_parser(
         "figure", help="regenerate one paper table/figure",

@@ -23,7 +23,7 @@ default ``START_GAP_EFFICIENCY`` was validated.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Protocol
+from typing import Optional, Protocol
 
 from repro.endurance.startgap import StartGap
 

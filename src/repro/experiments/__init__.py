@@ -9,13 +9,26 @@ resolve through these registries.
 from repro.experiments.ablations import ALL_ABLATIONS
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.headline import headline_summary
-from repro.experiments.runner import Runner, default_runner
+from repro.experiments.runner import (
+    Runner,
+    SweepProgress,
+    cache_clear,
+    cache_stats,
+    cache_verify,
+    default_jobs,
+    default_runner,
+)
 from repro.experiments.seeds import seed_stability
 
 __all__ = [
     "ALL_ABLATIONS",
     "ALL_FIGURES",
     "Runner",
+    "SweepProgress",
+    "cache_clear",
+    "cache_stats",
+    "cache_verify",
+    "default_jobs",
     "default_runner",
     "headline_summary",
     "seed_stability",

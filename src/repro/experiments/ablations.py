@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.analysis.report import Table
-from repro.experiments.runner import Runner, default_runner, selected_workloads
+from repro.experiments.runner import Runner, default_runner
 from repro.sim.config import SimConfig
 
 ABLATION_WORKLOADS = ("GemsFDTD", "lbm", "milc")
@@ -24,6 +24,12 @@ ABLATION_WORKLOADS = ("GemsFDTD", "lbm", "milc")
 
 def _runner(runner: Optional[Runner]) -> Runner:
     return runner if runner is not None else default_runner()
+
+
+def _prefetch(runner: Runner, configs) -> None:
+    """Simulate a study's whole grid in parallel; the table loops that
+    follow re-request each config and hit the in-memory memo."""
+    runner.sweep(configs)
 
 
 def abl_eager_selector(runner: Optional[Runner] = None,
@@ -35,6 +41,11 @@ def abl_eager_selector(runner: Optional[Runner] = None,
         columns=["workload", "selector", "ipc", "lifetime_years",
                  "eager_writebacks", "wasted_eager", "waste_rate"],
     )
+    _prefetch(runner, [
+        SimConfig(workload=workload, policy="BE-Mellow+SC",
+                  eager_selector=selector)
+        for workload in workloads for selector in ("stack", "deadblock")
+    ])
     for workload in workloads:
         for selector in ("stack", "deadblock"):
             result = runner.scaled(SimConfig(
@@ -60,6 +71,12 @@ def abl_flip_n_write(runner: Optional[Runner] = None,
         title="Ablation: Flip-N-Write composed with Mellow Writes",
         columns=["workload", "config", "ipc", "lifetime_years"],
     )
+    _prefetch(runner, [
+        SimConfig(workload=workload, policy=policy, flip_n_write=fnw)
+        for workload in workloads
+        for policy, fnw in (("Norm", False), ("Norm", True),
+                            ("BE-Mellow+SC", False), ("BE-Mellow+SC", True))
+    ])
     for workload in workloads:
         for policy, fnw in (("Norm", False), ("Norm", True),
                             ("BE-Mellow+SC", False), ("BE-Mellow+SC", True)):
@@ -85,6 +102,11 @@ def abl_multi_latency(runner: Optional[Runner] = None,
         columns=["workload", "policy", "ipc", "lifetime_years",
                  "normal_writes", "slow_writes"],
     )
+    _prefetch(runner, [
+        SimConfig(workload=workload, policy=policy)
+        for workload in workloads
+        for policy in ("B-Mellow+SC", "B-Mellow+SC+ML", "BE-Mellow+SC+ML")
+    ])
     for workload in workloads:
         for policy in ("B-Mellow+SC", "B-Mellow+SC+ML", "BE-Mellow+SC+ML"):
             result = runner.scaled(SimConfig(workload=workload, policy=policy))
@@ -106,6 +128,11 @@ def abl_eager_scan_interval(runner: Optional[Runner] = None,
         columns=["scan_interval_ns", "ipc", "lifetime_years",
                  "eager_writebacks", "wasted_eager"],
     )
+    _prefetch(runner, [
+        SimConfig(workload=workload, policy="BE-Mellow+SC",
+                  eager_scan_interval_ns=interval)
+        for interval in (30.0, 60.0, 240.0, 960.0)
+    ])
     for interval in (30.0, 60.0, 240.0, 960.0):
         result = runner.scaled(SimConfig(
             workload=workload, policy="BE-Mellow+SC",
@@ -128,6 +155,11 @@ def abl_quota_period(runner: Optional[Runner] = None,
         title=f"Ablation: Wear Quota sample period ({workload})",
         columns=["period_ns", "ipc", "lifetime_years", "slow_writes"],
     )
+    _prefetch(runner, [
+        SimConfig(workload=workload, policy="BE-Mellow+SC+WQ",
+                  sample_period_ns=period)
+        for period in (100_000.0, 500_000.0, 2_000_000.0)
+    ])
     for period in (100_000.0, 500_000.0, 2_000_000.0):
         result = runner.scaled(SimConfig(
             workload=workload, policy="BE-Mellow+SC+WQ",
@@ -153,6 +185,13 @@ def abl_dram_buffer(runner: Optional[Runner] = None,
                  "writes_to_memory"],
     )
     entries_options = (0, 65536)           # 0 vs a 4 MB coalescing buffer
+    _prefetch(runner, [
+        SimConfig(workload=workload, policy=policy,
+                  dram_buffer_entries=entries)
+        for workload in workloads
+        for policy in ("Norm", "BE-Mellow+SC")
+        for entries in entries_options
+    ])
     for workload in workloads:
         for policy in ("Norm", "BE-Mellow+SC"):
             for entries in entries_options:
@@ -182,6 +221,12 @@ def abl_write_pausing(runner: Optional[Runner] = None,
         columns=["workload", "policy", "ipc", "lifetime_years",
                  "cancellations", "pauses"],
     )
+    _prefetch(runner, [
+        SimConfig(workload=workload, policy=policy)
+        for workload in workloads
+        for policy in ("Slow+SC", "Slow+SC+WP", "BE-Mellow+SC",
+                       "BE-Mellow+SC+WP")
+    ])
     for workload in workloads:
         for policy in ("Slow+SC", "Slow+SC+WP", "BE-Mellow+SC",
                        "BE-Mellow+SC+WP"):

@@ -59,8 +59,7 @@ def compare_configs(
 ) -> Table:
     """Run both configs and tabulate metric-by-metric ratios."""
     runner = runner if runner is not None else default_runner()
-    base = runner.scaled(baseline)
-    cand = runner.scaled(candidate)
+    base, cand = runner.sweep([baseline, candidate])
     baseline_label = baseline_label or f"{base.workload}/{base.policy}"
     candidate_label = candidate_label or f"{cand.workload}/{cand.policy}"
     table = Table(

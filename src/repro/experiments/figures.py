@@ -8,7 +8,7 @@ EXPERIMENTS.md records them against the paper's published values.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro import params
 from repro.analysis.lifetime import (
@@ -38,16 +38,20 @@ def _runner(runner: Optional[Runner]) -> Runner:
 def _policy_sweep(runner: Runner, workloads: Sequence[str],
                   policies: Sequence[str] = PAPER_POLICY_NAMES,
                   **config_kwargs) -> Dict[str, Dict[str, RunResult]]:
-    """{workload: {policy: result}} for the main evaluation matrix."""
-    out: Dict[str, Dict[str, RunResult]] = {}
-    for workload in workloads:
-        out[workload] = {
-            policy: runner.scaled(
-                SimConfig(workload=workload, policy=policy, **config_kwargs)
-            )
-            for policy in policies
-        }
-    return out
+    """{workload: {policy: result}} for the main evaluation matrix.
+
+    The whole grid goes through :meth:`Runner.sweep` in one batch so cache
+    misses simulate in parallel (``REPRO_JOBS`` workers).
+    """
+    grid = [
+        SimConfig(workload=workload, policy=policy, **config_kwargs)
+        for workload in workloads for policy in policies
+    ]
+    results = iter(runner.sweep(grid))
+    return {
+        workload: {policy: next(results) for policy in policies}
+        for workload in workloads
+    }
 
 
 def _static_config(workload: str, factor: float, cancellable: bool,
@@ -114,6 +118,12 @@ def fig02_static_latency(runner: Optional[Runner] = None,
         title="Figure 2: static write latencies (normalized IPC, lifetime)",
         columns=["workload", "policy", "ipc", "ipc_vs_norm", "lifetime_years"],
     )
+    runner.sweep([                      # parallel prefetch; loops hit memo
+        _static_config(workload, factor, cancellable)
+        for workload in workloads
+        for factor in STATIC_FACTORS
+        for cancellable in (False, True)
+    ])
     for workload in workloads:
         base = runner.scaled(_static_config(workload, 1.0, False))
         for factor in STATIC_FACTORS:
@@ -140,8 +150,10 @@ def fig03_bank_utilization(runner: Optional[Runner] = None,
         title="Figure 3: average bank utilization (Norm)",
         columns=["workload", "bank_utilization"],
     )
-    for workload in workloads:
-        result = runner.scaled(SimConfig(workload=workload, policy="Norm"))
+    results = runner.sweep(
+        [SimConfig(workload=workload, policy="Norm") for workload in workloads]
+    )
+    for workload, result in zip(workloads, results):
         table.add_row(workload, result.bank_utilization)
     return table
 
@@ -158,8 +170,10 @@ def tab04_workload_mpki(runner: Optional[Runner] = None,
         title="Table IV: workload MPKI with a 2 MB LLC",
         columns=["workload", "mpki_measured", "mpki_paper"],
     )
-    for workload in workloads:
-        result = runner.scaled(SimConfig(workload=workload, policy="Norm"))
+    results = runner.sweep(
+        [SimConfig(workload=workload, policy="Norm") for workload in workloads]
+    )
+    for workload, result in zip(workloads, results):
         table.add_row(workload, result.mpki, PROFILES[workload].mpki_paper)
     return table
 
@@ -356,6 +370,12 @@ def fig18_bank_sensitivity(runner: Optional[Runner] = None,
                  "eager_writes", "normal_writes_issued",
                  "slow_writes_issued"],
     )
+    runner.sweep([                      # parallel prefetch; loop hits memo
+        SimConfig(workload=workload, policy=policy,
+                  num_banks=banks, num_ranks=ranks)
+        for banks, ranks in params.BANK_OPTIONS
+        for policy in ("Norm", "BE-Mellow+SC")
+    ])
     for banks, ranks in params.BANK_OPTIONS:
         for policy in ("Norm", "BE-Mellow+SC"):
             result = runner.scaled(SimConfig(
@@ -383,6 +403,16 @@ def fig19_vs_static(runner: Optional[Runner] = None,
               "(8-year lifetime constraint)",
         columns=["workload", "policy", "ipc", "lifetime_years",
                  "meets_8y", "is_best_static", "mellow_vs_best_static"],
+    )
+    runner.sweep(                       # parallel prefetch; loops hit memo
+        [_static_config(workload, factor, cancellable)
+         for workload in workloads
+         for factor in STATIC_FACTORS
+         for cancellable in (False, True)]
+        + [_static_config(workload, factor, True, eager=True)
+           for workload in workloads for factor in (1.0, 3.0)]
+        + [SimConfig(workload=workload, policy="BE-Mellow+SC+WQ")
+           for workload in workloads]
     )
     for workload in workloads:
         statics: Dict[str, RunResult] = {}

@@ -37,12 +37,15 @@ def headline_summary(runner: Optional[Runner] = None,
         columns=["policy", "ipc_vs_norm", "lifetime_vs_norm",
                  "min_lifetime_years", "paper_ipc", "paper_lifetime"],
     )
-    results = {}
-    for workload in workloads:
-        results[workload] = {
-            policy: runner.scaled(SimConfig(workload=workload, policy=policy))
-            for policy in PAPER_POLICY_NAMES
-        }
+    grid = [
+        SimConfig(workload=workload, policy=policy)
+        for workload in workloads for policy in PAPER_POLICY_NAMES
+    ]
+    flat = iter(runner.sweep(grid))
+    results = {
+        workload: {policy: next(flat) for policy in PAPER_POLICY_NAMES}
+        for workload in workloads
+    }
     for policy in PAPER_POLICY_NAMES:
         ipc_ratios = []
         life_ratios = []

@@ -1,14 +1,25 @@
-"""Sweep driver with a persistent result cache.
+"""Parallel sweep driver with a persistent, concurrency-safe result cache.
 
 Figures 10-16 all read the same 11x9 (workload x policy) sweep; the cache
 lets each bench regenerate its figure without re-simulating runs another
-bench already produced.  Results are stored as JSON keyed by a hash of the
-full :class:`SimConfig`, so any parameter change invalidates cleanly.
+bench already produced.  Results are stored as versioned JSON entries keyed
+by a digest of the full :class:`SimConfig`, so any parameter change
+invalidates cleanly.
+
+:meth:`Runner.sweep` fans cache misses out over a
+``concurrent.futures.ProcessPoolExecutor``.  Each run is seeded entirely by
+its config, so parallel results are bit-identical to serial ones; workers
+return plain dicts and the parent process owns all cache writes.  Cache
+writes are atomic (write-to-temp + ``os.replace``) so concurrent sweeps
+sharing one cache directory can never expose a half-written entry, and any
+unreadable entry - truncated JSON, schema drift, a stale pre-versioning
+file - logs a warning and falls back to re-simulation instead of crashing.
 
 Environment knobs:
 
 * ``REPRO_SCALE``       - scale factor on window lengths (default 1.0;
   benches use ~0.25 for quick runs).
+* ``REPRO_JOBS``        - worker processes for sweeps (default: all cores).
 * ``REPRO_WORKLOADS``   - comma-separated subset of workloads to sweep.
 * ``REPRO_CACHE_DIR``   - cache location (default ``.repro_cache`` in cwd).
 * ``REPRO_NO_CACHE=1``  - disable the persistent cache.
@@ -16,17 +27,26 @@ Environment knobs:
 
 from __future__ import annotations
 
-import hashlib
 import json
+import logging
 import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.endurance.wear import BankWearRecord
-from repro.sim.config import SimConfig
+from repro.sim.config import SimConfig, digest_for_key
 from repro.sim.stats import RunResult
 from repro.sim.system import run_simulation
 from repro.workloads.profiles import WORKLOAD_NAMES
+
+logger = logging.getLogger(__name__)
+
+#: Bump whenever the on-disk entry layout or RunResult serialisation
+#: changes; entries with any other version re-simulate.
+CACHE_SCHEMA_VERSION = 2
 
 _SCALAR_FIELDS = [
     "workload", "policy", "slow_factor", "num_banks", "expo_factor",
@@ -39,6 +59,10 @@ _SCALAR_FIELDS = [
     "write_energy_pj", "avg_read_queue_depth", "avg_write_queue_depth",
     "blocks_per_bank", "leveling_efficiency",
 ]
+
+
+class CacheEntryError(RuntimeError):
+    """A cache file exists but cannot be trusted (corrupt or stale)."""
 
 
 def result_to_dict(result: RunResult) -> dict:
@@ -69,8 +93,72 @@ def result_from_dict(data: dict) -> RunResult:
     return result
 
 
+def entry_to_json(config: SimConfig, result: RunResult) -> str:
+    """Serialise one cache entry (schema version + key + result)."""
+    return json.dumps({
+        "schema": CACHE_SCHEMA_VERSION,
+        "key": list(config.cache_key()),
+        "result": result_to_dict(result),
+    })
+
+
+def entry_from_json(text: str) -> RunResult:
+    """Parse a cache entry, raising :class:`CacheEntryError` on anything
+    short of a well-formed current-schema entry."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise CacheEntryError(f"invalid JSON: {error}") from error
+    if not isinstance(data, dict) or "schema" not in data:
+        raise CacheEntryError("pre-versioning cache entry")
+    if data["schema"] != CACHE_SCHEMA_VERSION:
+        raise CacheEntryError(
+            f"schema {data['schema']!r} != {CACHE_SCHEMA_VERSION}"
+        )
+    try:
+        return result_from_dict(data["result"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise CacheEntryError(f"undecodable result: {error!r}") from error
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` so readers never see a partial file.
+
+    The temp file lives in the target directory so ``os.replace`` stays on
+    one filesystem and is atomic; concurrent writers of the same key
+    last-write-win with either complete entry.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def scale_factor() -> float:
     return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def default_jobs() -> int:
+    """Worker count for parallel sweeps (``REPRO_JOBS``, default all cores)."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
+    return os.cpu_count() or 1
 
 
 def selected_workloads(default: Optional[Sequence[str]] = None) -> List[str]:
@@ -82,6 +170,30 @@ def selected_workloads(default: Optional[Sequence[str]] = None) -> List[str]:
             raise ValueError(f"unknown workloads in REPRO_WORKLOADS: {unknown}")
         return names
     return list(default if default is not None else WORKLOAD_NAMES)
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One per-run completion report delivered to a sweep's callback."""
+
+    completed: int
+    total: int
+    config: SimConfig
+    result: RunResult
+    from_cache: bool
+
+
+ProgressCallback = Callable[[SweepProgress], None]
+
+
+def _simulate_to_dict(config: SimConfig) -> dict:
+    """Worker entry point: simulate and return a plain-dict result.
+
+    Returning a dict (rather than a RunResult) keeps the IPC payload
+    decoupled from dataclass layout and is exactly what the parent writes
+    to disk; the parent process owns all cache traffic.
+    """
+    return result_to_dict(run_simulation(config))
 
 
 class Runner:
@@ -97,44 +209,220 @@ class Runner:
         self.cache_hits = 0
 
     def _path_for(self, config: SimConfig) -> Path:
-        key = repr(config.cache_key()).encode()
-        digest = hashlib.sha256(key).hexdigest()[:24]
-        return self.cache_dir / f"{digest}.json"
+        return self.cache_dir / f"{config.cache_digest()}.json"
+
+    def _load_disk(self, config: SimConfig) -> Optional[RunResult]:
+        """Fetch from disk; any unreadable entry warns and reads as a miss."""
+        if not self.disk_cache:
+            return None
+        path = self._path_for(config)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as error:
+            logger.warning("cache read failed for %s (%s); re-simulating",
+                           path, error)
+            return None
+        try:
+            return entry_from_json(text)
+        except CacheEntryError as error:
+            logger.warning("discarding cache entry %s (%s); re-simulating",
+                           path, error)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _store(self, config: SimConfig, result: RunResult) -> None:
+        self._memo[config.cache_key()] = result
+        if self.disk_cache:
+            atomic_write_text(self._path_for(config),
+                              entry_to_json(config, result))
 
     def run(self, config: SimConfig) -> RunResult:
         key = config.cache_key()
         if key in self._memo:
             self.cache_hits += 1
             return self._memo[key]
-        if self.disk_cache:
-            path = self._path_for(config)
-            if path.exists():
-                try:
-                    result = result_from_dict(json.loads(path.read_text()))
-                    self._memo[key] = result
-                    self.cache_hits += 1
-                    return result
-                except (json.JSONDecodeError, KeyError, TypeError):
-                    path.unlink()   # stale/corrupt entry; re-simulate
+        result = self._load_disk(config)
+        if result is not None:
+            self._memo[key] = result
+            self.cache_hits += 1
+            return result
         result = run_simulation(config)
         self.simulated += 1
-        self._memo[key] = result
-        if self.disk_cache:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            self._path_for(config).write_text(
-                json.dumps(result_to_dict(result))
-            )
+        self._store(config, result)
         return result
 
     def scaled(self, config: SimConfig) -> RunResult:
         """Run with window lengths scaled by REPRO_SCALE."""
+        return self.run(self._scaled_config(config))
+
+    def _scaled_config(self, config: SimConfig) -> SimConfig:
         factor = scale_factor()
         if factor != 1.0:
             config = config.scaled(factor)
-        return self.run(config)
+        return config
 
-    def sweep(self, configs: Iterable[SimConfig]) -> List[RunResult]:
-        return [self.scaled(c) for c in configs]
+    def sweep(self, configs: Iterable[SimConfig],
+              jobs: Optional[int] = None,
+              progress: Optional[ProgressCallback] = None,
+              ) -> List[RunResult]:
+        """Run a grid of configs, fanning cache misses out over processes.
+
+        Results come back in input order and are bit-identical to a serial
+        sweep: every run is deterministic given its config, and duplicate
+        configs in the grid simulate once.  ``jobs`` defaults to
+        ``REPRO_JOBS`` (or all cores); ``progress`` receives one
+        :class:`SweepProgress` per completed run.
+        """
+        configs = [self._scaled_config(c) for c in configs]
+        total = len(configs)
+        jobs = default_jobs() if jobs is None else max(1, jobs)
+        results: Dict[int, RunResult] = {}
+        completed = 0
+
+        def report(index: int, result: RunResult, from_cache: bool) -> None:
+            nonlocal completed
+            completed += 1
+            if progress is not None:
+                progress(SweepProgress(
+                    completed=completed, total=total, config=configs[index],
+                    result=result, from_cache=from_cache,
+                ))
+
+        # Resolve memo/disk hits up front; group the misses by cache key so
+        # duplicate grid points cost one simulation.
+        miss_indices: Dict[tuple, List[int]] = {}
+        for i, config in enumerate(configs):
+            key = config.cache_key()
+            if key in miss_indices:
+                miss_indices[key].append(i)
+                continue
+            if key in self._memo:
+                self.cache_hits += 1
+                results[i] = self._memo[key]
+                report(i, results[i], from_cache=True)
+                continue
+            cached = self._load_disk(config)
+            if cached is not None:
+                self._memo[key] = cached
+                self.cache_hits += 1
+                results[i] = cached
+                report(i, cached, from_cache=True)
+                continue
+            miss_indices[key] = [i]
+
+        def finish(indices: List[int], result: RunResult) -> None:
+            self.simulated += 1
+            self._store(configs[indices[0]], result)
+            for j, index in enumerate(indices):
+                if j:
+                    self.cache_hits += 1
+                results[index] = result
+                report(index, result, from_cache=bool(j))
+
+        misses = list(miss_indices.values())
+        if len(misses) <= 1 or jobs <= 1:
+            for indices in misses:
+                finish(indices, run_simulation(configs[indices[0]]))
+        else:
+            workers = min(jobs, len(misses))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_simulate_to_dict, configs[indices[0]]):
+                        indices
+                    for indices in misses
+                }
+                for future in as_completed(futures):
+                    finish(futures[future], result_from_dict(future.result()))
+
+        return [results[i] for i in range(total)]
+
+
+# ---------------------------------------------------------------------------
+# Cache maintenance (backs the ``repro cache`` CLI subcommand)
+# ---------------------------------------------------------------------------
+
+def resolve_cache_dir(cache_dir: Optional[Path] = None) -> Path:
+    if cache_dir is not None:
+        return Path(cache_dir)
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def cache_stats(cache_dir: Optional[Path] = None) -> dict:
+    """Entry count / footprint / health summary of one cache directory."""
+    directory = resolve_cache_dir(cache_dir)
+    stats = {
+        "cache_dir": str(directory),
+        "entries": 0,
+        "total_bytes": 0,
+        "valid": 0,
+        "invalid": 0,
+        "schema_versions": {},
+    }
+    if not directory.is_dir():
+        return stats
+    for path in sorted(directory.glob("*.json")):
+        stats["entries"] += 1
+        stats["total_bytes"] += path.stat().st_size
+        try:
+            data = json.loads(path.read_text())
+            schema = data.get("schema", "unversioned")
+        except (json.JSONDecodeError, OSError, AttributeError):
+            schema = "corrupt"
+        key = str(schema)
+        stats["schema_versions"][key] = stats["schema_versions"].get(key, 0) + 1
+        if schema == CACHE_SCHEMA_VERSION:
+            stats["valid"] += 1
+        else:
+            stats["invalid"] += 1
+    return stats
+
+
+def cache_verify(cache_dir: Optional[Path] = None) -> dict:
+    """Deep-check every entry: parseable, current schema, digest matches.
+
+    A digest mismatch means the file was renamed or the key inside was
+    tampered with/drifted; such entries would never be read back and only
+    waste space.
+    """
+    directory = resolve_cache_dir(cache_dir)
+    report = {"cache_dir": str(directory), "ok": 0, "bad": []}
+    if not directory.is_dir():
+        return report
+    for path in sorted(directory.glob("*.json")):
+        try:
+            entry_from_json(path.read_text())
+            data = json.loads(path.read_text())
+            expected = digest_for_key(data["key"]) + ".json"
+            if path.name != expected:
+                raise CacheEntryError(
+                    f"digest mismatch (expected {expected})"
+                )
+        except (CacheEntryError, OSError) as error:
+            report["bad"].append({"path": str(path), "error": str(error)})
+        else:
+            report["ok"] += 1
+    return report
+
+
+def cache_clear(cache_dir: Optional[Path] = None) -> int:
+    """Delete all cache entries (and stray temp files); returns the count."""
+    directory = resolve_cache_dir(cache_dir)
+    removed = 0
+    if not directory.is_dir():
+        return removed
+    for pattern in ("*.json", "*.tmp"):
+        for path in directory.glob(pattern):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
 
 
 _default_runner: Optional[Runner] = None

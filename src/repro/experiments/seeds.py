@@ -39,6 +39,11 @@ def seed_stability(runner: Optional[Runner] = None,
         columns=["workload", "ipc_ratio_mean", "ipc_ratio_cv",
                  "lifetime_ratio_mean", "lifetime_ratio_cv", "seeds"],
     )
+    runner.sweep([                      # parallel prefetch; loops hit memo
+        SimConfig(workload=workload, policy=policy, seed=seed)
+        for workload in workloads for seed in seeds
+        for policy in ("Norm", "BE-Mellow+SC")
+    ])
     for workload in workloads:
         ipc_ratios = []
         life_ratios = []

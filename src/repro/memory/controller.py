@@ -19,7 +19,7 @@ Scheduling rules (Sections IV and V, Table II):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from repro import params
 from repro.core.decision import choose_write_factor
@@ -113,7 +113,9 @@ class MemoryController:
         if not 0 < drain_low <= drain_high <= write_queue_entries:
             raise ValueError("need 0 < drain_low <= drain_high <= capacity")
 
-        clock = lambda: self.events.now
+        def clock():
+            return self.events.now
+
         self.read_q = RequestQueue(read_queue_entries, "read", clock=clock)
         self.write_q = RequestQueue(write_queue_entries, "write", clock=clock)
         self.eager_q = RequestQueue(eager_queue_entries, "eager", clock=clock)

@@ -2,11 +2,26 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Union
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Union
 
 from repro import params
 from repro.core.policies import WritePolicy, parse_policy
+
+
+def digest_for_key(key) -> str:
+    """Stable hex digest of a cache key.
+
+    The key is serialised as canonical JSON (tuples and lists hash alike),
+    so the digest is identical across processes and Python versions -
+    unlike ``repr``-based hashing, which would couple cache identity to
+    object formatting.  Parallel sweep workers rely on this to agree with
+    the parent process on cache file names.
+    """
+    payload = json.dumps(key, default=str).encode()
+    return hashlib.sha256(payload).hexdigest()[:24]
 
 
 @dataclass(frozen=True)
@@ -93,3 +108,7 @@ class SimConfig:
             self.functional_warmup_occupancy, self.dram_buffer_entries,
             self.page_policy, self.read_scheduler,
         )
+
+    def cache_digest(self) -> str:
+        """Filename-safe digest of :meth:`cache_key` (see digest_for_key)."""
+        return digest_for_key(self.cache_key())

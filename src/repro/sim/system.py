@@ -13,7 +13,6 @@ import copy
 import random
 from typing import Optional
 
-from repro import params
 from repro.cache.llc import LastLevelCache
 from repro.core.wear_quota import WearQuota
 from repro.cpu.core import SimpleCore

@@ -18,6 +18,7 @@ The profile fields:
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Sequence, Tuple
 
@@ -50,7 +51,12 @@ class WorkloadProfile:
 
     def trace(self, seed: int = 1) -> Iterator[TraceRecord]:
         """An infinite, deterministic trace of LLC accesses."""
-        rng = random.Random((hash(self.name) ^ seed) & 0x7FFFFFFF)
+        # crc32, not hash(): str hashing is randomized per interpreter, so
+        # seeding from it would make results differ across processes - the
+        # parallel sweep engine requires a trace fully determined by
+        # (workload, seed).
+        name_seed = zlib.crc32(self.name.encode())
+        rng = random.Random((name_seed ^ seed) & 0x7FFFFFFF)
         patterns = self.build_patterns()
         weights = [w for w, _ in patterns]
         total = sum(weights)

@@ -1,6 +1,5 @@
 """Tests for lifetime post-processing and report formatting."""
 
-import math
 
 import pytest
 

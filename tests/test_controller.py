@@ -12,7 +12,6 @@ from repro.core.wear_quota import WearQuota
 from repro.endurance.wear import WearTracker
 from repro.memory.address import AddressMap
 from repro.memory.controller import MemoryController
-from repro.memory.timing import MemoryTiming
 from repro.sim.events import EventQueue
 
 

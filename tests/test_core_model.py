@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import params
 from repro.cache.llc import LastLevelCache
 from repro.core.policies import parse_policy
 from repro.cpu.core import SimpleCore

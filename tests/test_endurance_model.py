@@ -1,6 +1,5 @@
 """Tests for the analytic endurance model (Eq. 2, Figure 1, Table II)."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

@@ -1,7 +1,5 @@
 """Tests for the functional LLC warmup phase."""
 
-import pytest
-
 from repro import SimConfig
 from repro.sim.system import System
 

@@ -5,7 +5,7 @@ import itertools
 import pytest
 
 from repro.cpu.trace import TraceRecord
-from repro.workloads.profiles import PROFILES, WORKLOAD_NAMES, get_profile
+from repro.workloads.profiles import WORKLOAD_NAMES, get_profile
 
 
 def test_all_eleven_paper_workloads_present():

@@ -1,7 +1,6 @@
 """Tests for the sweep runner and its persistent cache."""
 
 import json
-import os
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for wear tracking and lifetime computation."""
 
-import math
 
 import pytest
 

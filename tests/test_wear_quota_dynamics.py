@@ -1,8 +1,5 @@
 """System-level Wear Quota dynamics under phased and steady traffic."""
 
-import itertools
-
-import pytest
 
 from repro import SimConfig
 from repro.cpu.trace import TraceRecord
