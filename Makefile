@@ -1,0 +1,35 @@
+# Developer entry points.  `make check` is the full local gauntlet; tools
+# that are not installed (ruff, mypy) are skipped with a notice so the
+# target works in minimal environments - CI installs them all.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check lint simlint typecheck test sanitize bench-sanitizer
+
+check: lint simlint typecheck test
+	@echo "check: all gates passed"
+
+lint:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; \
+	then ruff check .; \
+	else echo "lint: ruff not installed, skipping (CI runs it)"; fi
+
+simlint:
+	$(PYTHON) -m repro lint src tests benchmarks
+
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; \
+	then $(PYTHON) -m mypy; \
+	else echo "typecheck: mypy not installed, skipping (CI runs it)"; fi
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Run the tier-1 suite with the runtime sanitizer armed everywhere.
+sanitize:
+	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q
+
+# Sanitizer overhead + bit-identity report.
+bench-sanitizer:
+	$(PYTHON) -m repro lint --bench

@@ -60,7 +60,7 @@ class TwoLevelFilter:
         self.stats = HierarchyStats()
 
     def _access_l2(self, block: int, is_write: bool,
-                   dependent: bool, gap: int):
+                   dependent: bool, gap: int) -> Iterator[TraceRecord]:
         """Access L2; yields the post-L2 records this access causes."""
         self.stats.l2_accesses += 1
         result = self.l2.access(block, is_write)

@@ -18,7 +18,7 @@ from typing import Optional
 
 from repro import params
 from repro.cache.deadblock import DeadBlockPredictor
-from repro.cache.lru import AccessResult, LRUCache
+from repro.cache.lru import AccessResult, CacheLine, LRUCache
 from repro.cache.profiler import StackProfiler
 
 STACK_SELECTOR = "stack"
@@ -108,7 +108,7 @@ class LastLevelCache:
         self.stats.eager_writebacks += 1
         return self.cache.block_of(set_index, line.tag)
 
-    def _pick_by_stack_position(self, set_index: int):
+    def _pick_by_stack_position(self, set_index: int) -> Optional[CacheLine]:
         eager_position = self.profiler.eager_position
         if eager_position >= self.cache.assoc:
             return None   # nothing is currently classified useless
@@ -120,7 +120,7 @@ class LastLevelCache:
         # Highest stack position = LRU-most = least likely to be reused.
         return candidates[-1] if candidates else None
 
-    def _pick_by_deadblock(self, set_index: int):
+    def _pick_by_deadblock(self, set_index: int) -> Optional[CacheLine]:
         dead = [
             line
             for _position, line in self.cache.dirty_lines_in_set(set_index)

@@ -9,7 +9,7 @@ the pre-access stack position alongside the hit/miss outcome.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 
 @dataclass
@@ -118,7 +118,8 @@ class LRUCache:
             line.eager_cleaned = True
         return True
 
-    def dirty_lines_in_set(self, set_index: int):
+    def dirty_lines_in_set(
+            self, set_index: int) -> List[Tuple[int, CacheLine]]:
         """(stack_position, line) pairs of dirty lines, MRU-first order."""
         return [
             (position, line)

@@ -21,6 +21,7 @@ from repro.core.policies import PAPER_POLICY_NAMES, parse_policy
 from repro.experiments.ablations import ALL_ABLATIONS
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.runner import Runner
+from repro.lint.cli import add_lint_arguments, cmd_lint
 from repro.sim.config import SimConfig
 from repro.workloads.profiles import PROFILES, WORKLOAD_NAMES
 
@@ -306,6 +307,12 @@ def build_parser() -> argparse.ArgumentParser:
         "list", help="list workloads, policies, figures",
     )
     list_parser.set_defaults(handler=cmd_list)
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="simulator-aware static analysis (simlint)",
+    )
+    add_lint_arguments(lint_parser)
+    lint_parser.set_defaults(handler=cmd_lint)
 
     return parser
 

@@ -24,6 +24,7 @@ Policy semantics:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Dict, List
 
 from repro import params
 
@@ -78,13 +79,15 @@ class WritePolicy:
         return replace(self, slow_factor=factor)
 
 
-_BASE_POLICIES = {
-    "norm": dict(),
-    "slow": dict(all_slow=True),
-    "b-mellow": dict(bank_aware=True),
-    "be-mellow": dict(bank_aware=True, eager=True),
-    "e-norm": dict(eager=True, eager_slow=False),
-    "e-slow": dict(all_slow=True, eager=True),
+# Base-scheme templates; parse_policy stamps the requested name, slow
+# factor, and suffix toggles onto a copy via dataclasses.replace.
+_BASE_POLICIES: Dict[str, WritePolicy] = {
+    "norm": WritePolicy(name="Norm"),
+    "slow": WritePolicy(name="Slow", all_slow=True),
+    "b-mellow": WritePolicy(name="B-Mellow", bank_aware=True),
+    "be-mellow": WritePolicy(name="BE-Mellow", bank_aware=True, eager=True),
+    "e-norm": WritePolicy(name="E-Norm", eager=True, eager_slow=False),
+    "e-slow": WritePolicy(name="E-Slow", all_slow=True, eager=True),
 }
 
 
@@ -99,27 +102,37 @@ def parse_policy(name: str, slow_factor: float = params.SLOW_FACTOR_DEFAULT) -> 
     if base not in _BASE_POLICIES:
         known = ", ".join(sorted(_BASE_POLICIES))
         raise ValueError(f"unknown base policy {parts[0]!r} (known: {known})")
-    kwargs = dict(_BASE_POLICIES[base])
+    cancel_normal = cancel_slow = wear_quota = False
+    pausing = multi_latency = False
     for suffix in parts[1:]:
         suffix = suffix.strip().upper()
         if suffix == "NC":
-            kwargs["cancel_normal"] = True
+            cancel_normal = True
         elif suffix == "SC":
-            kwargs["cancel_slow"] = True
+            cancel_slow = True
         elif suffix == "WQ":
-            kwargs["wear_quota"] = True
+            wear_quota = True
         elif suffix == "WP":
             # Write pausing (Qureshi et al., HPCA 2010): an interrupted
             # write keeps its progress and resumes later instead of
             # restarting from scratch.
-            kwargs["pausing"] = True
+            pausing = True
         elif suffix == "ML":
             # Multi-latency Mellow Writes (the Section VI-I future-work
             # extension): a mild 1.5x slowdown for lightly-contended banks.
-            kwargs["multi_latency"] = True
+            multi_latency = True
         else:
             raise ValueError(f"unknown policy suffix {suffix!r}")
-    return WritePolicy(name=name, slow_factor=slow_factor, **kwargs)
+    return replace(
+        _BASE_POLICIES[base],
+        name=name,
+        slow_factor=slow_factor,
+        cancel_normal=cancel_normal,
+        cancel_slow=cancel_slow,
+        wear_quota=wear_quota,
+        pausing=pausing,
+        multi_latency=multi_latency,
+    )
 
 
 # The policy set evaluated in Figures 10-16.
@@ -136,6 +149,8 @@ PAPER_POLICY_NAMES = (
 )
 
 
-def paper_policies(slow_factor: float = params.SLOW_FACTOR_DEFAULT):
+def paper_policies(
+    slow_factor: float = params.SLOW_FACTOR_DEFAULT,
+) -> List[WritePolicy]:
     """The full evaluated policy list, parsed."""
     return [parse_policy(n, slow_factor) for n in PAPER_POLICY_NAMES]

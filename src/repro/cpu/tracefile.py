@@ -16,21 +16,21 @@ from __future__ import annotations
 import gzip
 import itertools
 from pathlib import Path
-from typing import Iterable, Iterator, Union
+from typing import IO, Iterable, Iterator, Optional, Union, cast
 
 from repro.cpu.trace import TraceRecord
 
 PathLike = Union[str, Path]
 
 
-def _open(path: Path, mode: str):
+def _open(path: Path, mode: str) -> IO[str]:
     if path.suffix == ".gz":
-        return gzip.open(path, mode + "t")
+        return cast("IO[str]", gzip.open(path, mode + "t"))
     return open(path, mode)
 
 
 def save_trace(records: Iterable[TraceRecord], path: PathLike,
-               limit: int = None) -> int:
+               limit: Optional[int] = None) -> int:
     """Write records to ``path``; returns the number written.
 
     ``limit`` bounds how many records are consumed - mandatory in spirit

@@ -23,7 +23,7 @@ default ``START_GAP_EFFICIENCY`` was validated.
 from __future__ import annotations
 
 import random
-from typing import Optional, Protocol
+from typing import Dict, Optional, Protocol
 
 from repro.endurance.startgap import StartGap
 
@@ -183,7 +183,7 @@ def measure_efficiency(
     rng = random.Random(seed)
     # Start-Gap owns one spare physical slot beyond num_lines, so index
     # wear by whatever the leveler returns.
-    wear: dict = {}
+    wear: Dict[int, int] = {}
     for _ in range(writes):
         if rng.random() < hot_fraction:
             logical = rng.randrange(hot_lines)

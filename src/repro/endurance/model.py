@@ -14,7 +14,7 @@ fall out of this formula exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import List, Sequence, Tuple
 
 from repro import params
 
@@ -71,7 +71,9 @@ class EnduranceModel:
         factor = (endurance / self.base_endurance) ** (1.0 / self.expo_factor)
         return factor * self.base_latency_ns
 
-    def curve(self, slow_factors: Sequence[float]) -> list:
+    def curve(
+        self, slow_factors: Sequence[float],
+    ) -> List[Tuple[float, float, float]]:
         """(factor, latency_ns, endurance) rows - the data behind Figure 1."""
         return [
             (f, f * self.base_latency_ns, self.endurance_at_factor(f))

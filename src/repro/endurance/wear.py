@@ -21,6 +21,15 @@ This is the same algebra the paper's Wear Quota bound uses
 
 For small memories (unit tests, detailed studies) a per-block mode tracks
 exact damage per physical block through a live Start-Gap remapper.
+
+With the sanitizer armed (``sanitize=True``, or ``REPRO_SANITIZE=1`` when
+the argument is left at ``None``) every recorded write is checked for the
+wear-accounting invariants: fractions and slow factors in their legal
+ranges, and per-bank damage monotone nondecreasing.  The companion
+conservation check - controller-issued writes equal the sum of per-bank
+recorded writes - lives in
+:meth:`repro.memory.controller.MemoryController._record_wear`, the other
+side of that seam.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ from typing import Dict, List, Optional
 from repro import params
 from repro.endurance.model import EnduranceModel
 from repro.endurance.startgap import StartGap
+from repro.lint.sanitize import check, resolve
 
 
 @dataclass
@@ -59,6 +69,11 @@ class BankWearRecord:
     def total_writes(self) -> float:
         return self.normal_writes + sum(self.slow_writes_by_factor.values())
 
+    def reset(self) -> None:
+        """Zero the tallies in place (start of a measurement window)."""
+        self.normal_writes = 0.0
+        self.slow_writes_by_factor.clear()
+
 
 class WearTracker:
     """Tracks wear per bank and converts it to a system lifetime."""
@@ -71,6 +86,7 @@ class WearTracker:
         leveling_efficiency: float = params.START_GAP_EFFICIENCY,
         detailed: bool = False,
         start_gap_psi: int = params.START_GAP_PSI,
+        sanitize: Optional[bool] = None,
     ) -> None:
         if num_banks < 1:
             raise ValueError("num_banks must be >= 1")
@@ -86,9 +102,14 @@ class WearTracker:
             BankWearRecord() for _ in range(num_banks)
         ]
         self.detailed = detailed
+        self._sanitize = resolve(sanitize)
+        self._damage_watermarks: List[float] = [0.0] * num_banks
+        self.remappers: List[StartGap]
+        self.block_damage: List[List[float]]
         if detailed:
             self.remappers = [
-                StartGap(blocks_per_bank, psi=start_gap_psi)
+                StartGap(blocks_per_bank, psi=start_gap_psi,
+                         sanitize=self._sanitize)
                 for _ in range(num_banks)
             ]
             self.block_damage = [
@@ -107,19 +128,52 @@ class WearTracker:
         ``fraction`` < 1 models a cancelled write attempt that only partially
         stressed the cell.
         """
+        if self._sanitize:
+            check(
+                0 <= bank < self.num_banks, "wear-conservation",
+                "write recorded to a bank outside the tracked range",
+                bank=bank, num_banks=self.num_banks,
+            )
+            check(
+                fraction >= 0.0, "wear-monotonicity",
+                "negative write fraction would erase recorded damage",
+                bank=bank, fraction=fraction, slow_factor=slow_factor,
+            )
+            check(
+                slow_factor >= 1.0, "wear-monotonicity",
+                "slow factor below 1.0 has no defined damage",
+                bank=bank, slow_factor=slow_factor,
+            )
         self.records[bank].add(slow_factor, fraction)
+        if self._sanitize:
+            damage = self.records[bank].damage(self.model)
+            check(
+                damage >= self._damage_watermarks[bank], "wear-monotonicity",
+                "per-bank damage decreased",
+                bank=bank, damage=damage,
+                watermark=self._damage_watermarks[bank],
+            )
+            self._damage_watermarks[bank] = damage
         if self.detailed and block is not None:
             remapper = self.remappers[bank]
             physical = remapper.remap(block % self.blocks_per_bank)
-            damage = self.model.damage_per_write(slow_factor) * fraction
-            self.block_damage[bank][physical] += damage
+            damage_inc = self.model.damage_per_write(slow_factor) * fraction
+            self.block_damage[bank][physical] += damage_inc
             remapper.record_write()
 
-    def bank_damage(self, bank: int, model: Optional[EnduranceModel] = None) -> float:
+    def reset_records(self) -> None:
+        """Zero every bank tally (used when the warmup window ends)."""
+        for record in self.records:
+            record.reset()
+        self._damage_watermarks = [0.0] * self.num_banks
+
+    def bank_damage(self, bank: int,
+                    model: Optional[EnduranceModel] = None) -> float:
         return self.records[bank].damage(model or self.model)
 
     def bank_lifetime_ns(
-        self, bank: int, window_ns: float, model: Optional[EnduranceModel] = None,
+        self, bank: int, window_ns: float,
+        model: Optional[EnduranceModel] = None,
     ) -> float:
         """Lifetime of one bank assuming the window repeats cyclically."""
         damage = self.bank_damage(bank, model)

@@ -19,6 +19,7 @@ buffer, is likewise peripheral-dominated and taken as a constant.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, List
 
 from repro import params
 from repro.energy.cells import CellParameters, get_cell
@@ -67,9 +68,9 @@ class LineEnergyModel:
         return self.row_hit_read_pj if row_hit else self.buffer_read_pj
 
 
-def table_vi_rows():
+def table_vi_rows() -> List[Dict[str, object]]:
     """Regenerate Table VI: one row per cell design point."""
-    rows = []
+    rows: List[Dict[str, object]] = []
     for name in params.CELL_ENERGIES_PJ:
         model = LineEnergyModel.for_cell(name)
         rows.append({

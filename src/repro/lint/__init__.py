@@ -1,0 +1,31 @@
+"""simlint: simulator-aware static analysis + runtime invariant sanitizer.
+
+Two layers share this package:
+
+* the **static analyzer** (:mod:`repro.lint.rules`, :mod:`repro.lint.engine`)
+  runs AST checks tuned to this codebase's reproducibility hazards and
+  backs the ``repro lint`` CLI;
+* the **runtime sanitizer** (:mod:`repro.lint.sanitize`) arms invariant
+  checks inside the simulator when ``REPRO_SANITIZE=1`` or
+  ``SimConfig(sanitize=True)``.
+
+See ``docs/static-analysis.md`` for the rule catalogue and invariant list.
+"""
+
+from repro.lint.engine import LintOptions, lint_paths, lint_source
+from repro.lint.findings import Finding, RuleInfo, summarize
+from repro.lint.rules import RULES
+from repro.lint.sanitize import InvariantViolation, env_enabled, resolve
+
+__all__ = [
+    "Finding",
+    "InvariantViolation",
+    "LintOptions",
+    "RULES",
+    "RuleInfo",
+    "env_enabled",
+    "lint_paths",
+    "lint_source",
+    "resolve",
+    "summarize",
+]

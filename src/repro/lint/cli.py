@@ -1,0 +1,148 @@
+"""``repro lint`` subcommand: run simlint, report, optionally benchmark.
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage error.  ``--bench`` instead
+measures the runtime sanitizer's overhead on the smoke-sweep configs and
+verifies sanitized results are bit-identical to unsanitized ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.lint.engine import LintOptions, lint_paths
+from repro.lint.findings import findings_to_json, summarize
+from repro.lint.rules import RULES
+
+#: Default lint target when no paths are given.
+DEFAULT_PATHS = ("src",)
+
+#: Workload/policy grid for ``--bench`` (mirrors the CI smoke sweep).
+BENCH_WORKLOADS = ("lbm", "stream")
+BENCH_POLICIES = ("Norm", "BE-Mellow+SC")
+BENCH_SCALE = 0.05
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=["text", "json"], default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule ids to run exclusively")
+    parser.add_argument("--ignore", default=None,
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--bench", action="store_true",
+                        help="measure sanitizer overhead on the smoke sweep "
+                             "instead of linting")
+
+
+def _split_rules(text: Optional[str]) -> Optional[List[str]]:
+    if text is None:
+        return None
+    return [r.strip().upper() for r in text.split(",") if r.strip()]
+
+
+def _print_rule_catalogue() -> None:
+    for info in RULES.values():
+        print(f"{info.rule_id} {info.name} [{info.severity}]")
+        print(f"    {info.summary}")
+        print(f"    fix: {info.hint}")
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        _print_rule_catalogue()
+        return 0
+    if args.bench:
+        return run_bench()
+    try:
+        options = LintOptions(
+            select=_split_rules(args.select),
+            ignore=_split_rules(args.ignore) or (),
+        )
+        findings = lint_paths(args.paths, options)
+    except (ValueError, FileNotFoundError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(findings_to_json(findings))
+    else:
+        for finding in findings:
+            print(finding.format_text())
+        counts = summarize(findings)
+        if findings:
+            print(
+                f"\n{counts['total']} finding(s): "
+                f"{counts['by_severity']['error']} error(s), "
+                f"{counts['by_severity']['warning']} warning(s)"
+            )
+        else:
+            print("simlint: no findings")
+    return 1 if findings else 0
+
+
+# --------------------------------------------------------------------------
+# Sanitizer overhead benchmark
+# --------------------------------------------------------------------------
+
+def _bench_configs():
+    from dataclasses import replace
+
+    from repro.sim.config import SimConfig
+    configs = [
+        SimConfig(workload=workload, policy=policy).scaled(BENCH_SCALE)
+        for workload in BENCH_WORKLOADS
+        for policy in BENCH_POLICIES
+    ]
+    return configs, [replace(c, sanitize=True) for c in configs]
+
+
+def _time_runs(configs) -> float:
+    from repro.sim.system import run_simulation
+    start = time.perf_counter()   # simlint: ignore[SIM003] -- measuring host runtime is the point of --bench
+    for config in configs:
+        run_simulation(config)
+    return time.perf_counter() - start   # simlint: ignore[SIM003] -- measuring host runtime is the point of --bench
+
+
+def run_bench() -> int:
+    """Time the smoke sweep with and without the sanitizer armed.
+
+    Also cross-checks that sanitize mode leaves every result bit-identical
+    (the strong form of "the sanitizer is read-only"); a mismatch is a bug
+    in a sanitizer hook and exits nonzero.
+    """
+    from repro.experiments.runner import result_to_dict
+    from repro.sim.system import run_simulation
+
+    plain_configs, sanitized_configs = _bench_configs()
+    # Warm interpreter caches so the two timed passes are comparable.
+    run_simulation(plain_configs[0])
+
+    plain_s = _time_runs(plain_configs)
+    sanitized_s = _time_runs(sanitized_configs)
+    overhead = (sanitized_s / plain_s - 1.0) if plain_s > 0 else 0.0
+
+    grid = ",".join(BENCH_WORKLOADS) + " x " + ",".join(BENCH_POLICIES)
+    print(f"sanitizer bench ({grid} @ scale {BENCH_SCALE}):")
+    print(f"  unsanitized: {plain_s:8.3f} s")
+    print(f"  sanitized:   {sanitized_s:8.3f} s")
+    print(f"  overhead:    {overhead:+8.1%}")
+
+    for plain, sanitized in zip(plain_configs, sanitized_configs):
+        left = result_to_dict(run_simulation(plain))
+        right = result_to_dict(run_simulation(sanitized))
+        if left != right:
+            print(
+                f"MISMATCH: sanitize mode changed results for "
+                f"{plain.workload}/{plain.policy_name}",
+                file=sys.stderr,
+            )
+            return 1
+    print("  results:     bit-identical with sanitizer armed")
+    return 0

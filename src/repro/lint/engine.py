@@ -1,0 +1,142 @@
+"""simlint engine: file discovery, suppression comments, rule selection.
+
+The engine turns paths into findings:
+
+1. discover ``*.py`` files under each requested path;
+2. parse each file and run the rule set (:mod:`repro.lint.rules`);
+3. drop findings suppressed by a same-line ``# simlint: ignore[...]``
+   comment;
+4. apply ``--select`` / ``--ignore`` rule filtering;
+5. return findings sorted by location.
+
+Suppression syntax (mirrors ``noqa``)::
+
+    risky_line()  # simlint: ignore[SIM003] -- benchmarking wall-clock
+    risky_line()  # simlint: ignore          (suppresses every rule)
+
+Anything after the closing bracket is a free-form justification; writing
+one is strongly encouraged and the repo's own suppressions all carry one.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.lint.findings import Finding, sort_findings
+from repro.lint.rules import RULES, check_source
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9,\s]*)\])?"
+)
+
+#: Suppression entry meaning "every rule".
+ALL_RULES = "*"
+
+
+@dataclass(frozen=True)
+class LintOptions:
+    """Rule filtering for one lint run."""
+
+    select: Optional[Sequence[str]] = None   # only these rule ids
+    ignore: Sequence[str] = ()               # minus these rule ids
+
+    def __post_init__(self) -> None:
+        for rule_id in [*(self.select or ()), *self.ignore]:
+            if rule_id not in RULES:
+                known = ", ".join(sorted(RULES))
+                raise ValueError(
+                    f"unknown rule {rule_id!r} (known: {known})"
+                )
+
+    def enabled(self, rule_id: str) -> bool:
+        if self.select is not None and rule_id not in self.select:
+            return False
+        return rule_id not in self.ignore
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of suppressed rule ids (or ``{"*"}``)."""
+    suppressions: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules_text = match.group("rules")
+        if rules_text is None:
+            suppressions[lineno] = {ALL_RULES}
+            continue
+        rules = {r.strip().upper() for r in rules_text.split(",") if r.strip()}
+        suppressions[lineno] = rules or {ALL_RULES}
+    return suppressions
+
+
+def _suppressed(finding: Finding,
+                suppressions: Dict[int, Set[str]]) -> bool:
+    rules = suppressions.get(finding.line)
+    if rules is None:
+        return False
+    return ALL_RULES in rules or finding.rule_id in rules
+
+
+def lint_source(source: str, path: str = "<string>",
+                options: Optional[LintOptions] = None) -> List[Finding]:
+    """Lint one source string; raises SyntaxError on unparsable input."""
+    options = options if options is not None else LintOptions()
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    suppressions = parse_suppressions(source)
+    findings = [
+        finding
+        for finding in check_source(path, tree, lines)
+        if options.enabled(finding.rule_id)
+        and not _suppressed(finding, suppressions)
+    ]
+    return sort_findings(findings)
+
+
+def discover_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, deduplicated ``*.py`` list."""
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            seen.update(path.rglob("*.py"))
+        elif path.suffix == ".py" and path.exists():
+            seen.add(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(seen)
+
+
+def lint_paths(paths: Iterable[Path],
+               options: Optional[LintOptions] = None) -> List[Finding]:
+    """Lint every Python file under ``paths``.
+
+    Unparsable files surface as a synthetic ``SIM000`` error finding rather
+    than aborting the run, so one syntax error cannot hide every other
+    finding in a tree.
+    """
+    findings: List[Finding] = []
+    for file_path in discover_files(Path(p) for p in paths):
+        try:
+            source = file_path.read_text()
+        except (OSError, UnicodeDecodeError) as error:
+            findings.append(Finding(
+                rule_id="SIM000", severity="error", path=str(file_path),
+                line=1, column=1, message=f"unreadable file: {error}",
+                hint="fix the file encoding or permissions",
+            ))
+            continue
+        try:
+            findings.extend(lint_source(source, str(file_path), options))
+        except SyntaxError as error:
+            findings.append(Finding(
+                rule_id="SIM000", severity="error", path=str(file_path),
+                line=error.lineno or 1, column=(error.offset or 0) + 1,
+                message=f"syntax error: {error.msg}",
+                hint="simlint only checks files that parse",
+            ))
+    return sort_findings(findings)

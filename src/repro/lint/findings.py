@@ -1,0 +1,93 @@
+"""Finding and rule metadata shared by every simlint layer.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are plain data: the engine produces them, the CLI formats them (text or
+JSON), and the tests assert on them directly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+#: Finding severities, weakest to strongest.  ``error`` findings are the
+#: ones that have historically corrupted results (nondeterminism, unit
+#: slips); ``warning`` findings are robustness hazards.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Static description of one simlint rule."""
+
+    rule_id: str          # "SIM001"
+    name: str             # short kebab-case slug
+    severity: str         # "error" or "warning"
+    summary: str          # one-line description of the hazard
+    hint: str             # how to fix it
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    column: int
+    message: str
+    hint: str
+    snippet: str = ""     # the offending source line, stripped
+
+    def format_text(self) -> str:
+        location = f"{self.path}:{self.line}:{self.column}"
+        text = f"{location}: {self.severity} {self.rule_id}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        if self.snippet:
+            text += f"\n    {self.snippet}"
+        return text
+
+
+def findings_to_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report: a JSON object with findings + summary."""
+    payload = {
+        "findings": [
+            {
+                "rule": f.rule_id,
+                "severity": f.severity,
+                "path": f.path,
+                "line": f.line,
+                "column": f.column,
+                "message": f.message,
+                "hint": f.hint,
+            }
+            for f in findings
+        ],
+        "counts": summarize(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def summarize(findings: Sequence[Finding]) -> Dict[str, Any]:
+    """Per-rule and per-severity counts for report footers."""
+    by_rule: Dict[str, int] = {}
+    by_severity = {name: 0 for name in SEVERITIES}
+    for finding in findings:
+        by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+        by_severity[finding.severity] += 1
+    return {
+        "total": len(findings),
+        "by_rule": dict(sorted(by_rule.items())),
+        "by_severity": by_severity,
+    }
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.rule_id))

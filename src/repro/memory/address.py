@@ -10,6 +10,7 @@ rows.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 from repro import params
 
@@ -64,7 +65,7 @@ class AddressMap:
         """Row-buffer row the block belongs to (within its bank)."""
         return self.bank_local_block(block) // self.blocks_per_row
 
-    def decode(self, block: int):
+    def decode(self, block: int) -> Tuple[int, int, int, int]:
         """(rank, bank, row, bank_local_block) for a global block index."""
         bank = self.bank_of(block)
         local = self.bank_local_block(block)

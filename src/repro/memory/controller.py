@@ -26,6 +26,7 @@ from repro.core.decision import choose_write_factor
 from repro.core.policies import WritePolicy
 from repro.core.wear_quota import WearQuota
 from repro.endurance.wear import WearTracker
+from repro.lint.sanitize import check, close_enough, resolve
 from repro.memory.address import AddressMap
 from repro.memory.bank import Bank, InFlight
 from repro.memory.queues import EAGER, READ, WRITE, Request, RequestQueue
@@ -89,10 +90,11 @@ class MemoryController:
         eager_queue_entries: int = params.EAGER_QUEUE_ENTRIES,
         drain_low: int = params.WRITE_DRAIN_LOW,
         drain_high: int = params.WRITE_DRAIN_HIGH,
-        wear_scaler=None,
+        wear_scaler: Optional[Callable[[], float]] = None,
         cancel_threshold: float = 0.5,
         page_policy: str = "open",
         read_scheduler: str = "fcfs",
+        sanitize: Optional[bool] = None,
     ) -> None:
         self.events = events
         self.policy = policy
@@ -113,12 +115,16 @@ class MemoryController:
         if not 0 < drain_low <= drain_high <= write_queue_entries:
             raise ValueError("need 0 < drain_low <= drain_high <= capacity")
 
-        def clock():
+        def clock() -> float:
             return self.events.now
 
-        self.read_q = RequestQueue(read_queue_entries, "read", clock=clock)
-        self.write_q = RequestQueue(write_queue_entries, "write", clock=clock)
-        self.eager_q = RequestQueue(eager_queue_entries, "eager", clock=clock)
+        self._sanitize = resolve(sanitize)
+        self.read_q = RequestQueue(read_queue_entries, "read", clock=clock,
+                                   sanitize=self._sanitize)
+        self.write_q = RequestQueue(write_queue_entries, "write", clock=clock,
+                                    sanitize=self._sanitize)
+        self.eager_q = RequestQueue(eager_queue_entries, "eager", clock=clock,
+                                    sanitize=self._sanitize)
         self.drain_low = drain_low
         self.drain_high = drain_high
         if not 0.0 <= cancel_threshold <= 1.0:
@@ -152,6 +158,11 @@ class MemoryController:
         self.wear_scaler = wear_scaler
         self._write_space_waiters: List[Callable[[], None]] = []
         self._read_space_waiters: List[Callable[[], None]] = []
+        # Wear-conservation cross-check (sanitize mode): the controller
+        # keeps its own tally of write fractions it hands to the wear
+        # tracker; the two independently maintained sums must always agree.
+        self._wear_write_tally = 0.0
+        self._wear_write_baseline = self.wear.total_writes()
 
     # ------------------------------------------------------------------
     # Submission API (called by the LLC / CPU side)
@@ -447,6 +458,17 @@ class MemoryController:
         self.wear.record_write(
             request.bank, factor, block=local, fraction=fraction,
         )
+        if self._sanitize:
+            self._wear_write_tally += fraction
+            expected = self._wear_write_baseline + self._wear_write_tally
+            recorded = self.wear.total_writes()
+            check(
+                close_enough(expected, recorded), "wear-conservation",
+                "controller-issued write fractions and per-bank wear "
+                "records disagree",
+                controller_total=expected, wear_total=recorded,
+                bank=request.bank, block=request.block,
+            )
         if self.quota is not None:
             damage = self.wear.model.damage_per_write(factor) * fraction
             self.quota.record_wear(request.bank, damage)
@@ -492,3 +514,7 @@ class MemoryController:
             self._drain_started_ns = self.events.now
         for queue in (self.read_q, self.write_q, self.eager_q):
             queue.reset_depth_statistics()
+        # Re-anchor the wear-conservation cross-check: the caller may zero
+        # the wear records around this reset, so re-read the actual total.
+        self._wear_write_tally = 0.0
+        self._wear_write_baseline = self.wear.total_writes()

@@ -28,6 +28,15 @@ from typing import Optional
 
 @dataclass
 class DramBufferStats:
+    """Counters for the DRAM write-coalescing buffer.
+
+    Attributes:
+        writebacks_in: LLC writebacks offered to the buffer.
+        coalesced: writebacks absorbed by an existing entry (no resistive
+            write ever happens for these).
+        drains_out: LRU entries evicted to the memory controller.
+    """
+
     writebacks_in: int = 0
     coalesced: int = 0
     drains_out: int = 0

@@ -18,7 +18,9 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, Optional
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.lint.sanitize import check, resolve
 
 READ = "read"
 WRITE = "write"
@@ -39,7 +41,12 @@ class Request:
         callback: invoked with the completion time (reads and writes alike).
         attempts: times the request has been issued to a bank (cancellations
             re-issue, so attempts can exceed 1).
-        slow: write speed chosen at issue time (meaningless for reads).
+        speed_factor: write slowdown chosen at issue time (1.0 = normal
+            speed; meaningless for reads).  The derived :attr:`slow`
+            property reports whether that puts the write below normal speed.
+        progress_ns: completed programming-pulse time carried across
+            attempts (write pausing).
+        req_id: monotonically increasing id, for debugging and stable repr.
     """
 
     kind: str
@@ -51,7 +58,7 @@ class Request:
     callback: Optional[Callable[[float], None]] = None
     attempts: int = 0
     speed_factor: float = 1.0
-    progress_ns: float = 0.0    # completed pulse time (write pausing)
+    progress_ns: float = 0.0
     req_id: int = field(default_factory=lambda: next(_request_ids))
 
     @property
@@ -70,9 +77,17 @@ class RequestQueue:
     When constructed with a ``clock`` callable (returning the current
     simulation time), the queue integrates its occupancy over time so the
     controller can report time-weighted average queue depth.
+
+    With the sanitizer armed (``sanitize=True``, or ``REPRO_SANITIZE=1``
+    when the argument is left at ``None``), every mutation re-verifies that
+    the aggregate occupancy counter stays within ``[0, capacity]`` and
+    equals the sum of the per-bank FIFO lengths - the queue-occupancy
+    conservation invariant.
     """
 
-    def __init__(self, capacity: int, name: str, clock=None) -> None:
+    def __init__(self, capacity: int, name: str,
+                 clock: Optional[Callable[[], float]] = None,
+                 sanitize: Optional[bool] = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -82,6 +97,21 @@ class RequestQueue:
         self._clock = clock
         self._occupancy_integral = 0.0
         self._last_change_ns = 0.0
+        self._sanitize = resolve(sanitize)
+
+    def _check_occupancy(self) -> None:
+        per_bank_total = sum(len(dq) for dq in self._per_bank.values())
+        check(
+            0 <= self._size <= self.capacity, "queue-occupancy",
+            f"{self.name} queue size counter out of bounds",
+            queue=self.name, size=self._size, capacity=self.capacity,
+        )
+        check(
+            per_bank_total == self._size, "queue-occupancy",
+            f"{self.name} queue per-bank FIFOs disagree with the aggregate "
+            "size counter",
+            queue=self.name, size=self._size, per_bank_total=per_bank_total,
+        )
 
     def _integrate(self) -> None:
         if self._clock is None:
@@ -120,6 +150,8 @@ class RequestQueue:
         self._integrate()
         self._per_bank.setdefault(request.bank, deque()).append(request)
         self._size += 1
+        if self._sanitize:
+            self._check_occupancy()
 
     def push_front(self, request: Request) -> None:
         """Return a cancelled request to the head of its bank's FIFO."""
@@ -128,6 +160,8 @@ class RequestQueue:
         self._integrate()
         self._per_bank.setdefault(request.bank, deque()).appendleft(request)
         self._size += 1
+        if self._sanitize:
+            self._check_occupancy()
 
     def peek_bank(self, bank: int) -> Optional[Request]:
         """Oldest request for ``bank`` without removing it."""
@@ -152,9 +186,14 @@ class RequestQueue:
                 if request.row == open_row:
                     del per_bank[index]
                     self._size -= 1
+                    if self._sanitize:
+                        self._check_occupancy()
                     return request
         self._size -= 1
-        return per_bank.popleft()
+        popped = per_bank.popleft()
+        if self._sanitize:
+            self._check_occupancy()
+        return popped
 
     def pop_bank(self, bank: int) -> Request:
         """Remove and return the oldest request for ``bank``."""
@@ -163,13 +202,16 @@ class RequestQueue:
             raise LookupError(f"no {self.name} request for bank {bank}")
         self._integrate()
         self._size -= 1
-        return per_bank.popleft()
+        popped = per_bank.popleft()
+        if self._sanitize:
+            self._check_occupancy()
+        return popped
 
     def count_bank(self, bank: int) -> int:
         """Number of queued requests targeting ``bank``."""
         per_bank = self._per_bank.get(bank)
         return len(per_bank) if per_bank else 0
 
-    def banks_with_requests(self):
+    def banks_with_requests(self) -> List[int]:
         """Banks that currently have at least one queued request."""
         return [bank for bank, dq in self._per_bank.items() if dq]

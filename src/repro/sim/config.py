@@ -5,13 +5,13 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, replace
-from typing import Union
+from typing import Any, Tuple, Union
 
 from repro import params
 from repro.core.policies import WritePolicy, parse_policy
 
 
-def digest_for_key(key) -> str:
+def digest_for_key(key: Any) -> str:
     """Stable hex digest of a cache key.
 
     The key is serialised as canonical JSON (tuples and lists hash alike),
@@ -61,6 +61,11 @@ class SimConfig:
     dram_buffer_entries: int = 0           # DRAM write-coalescing buffer
     page_policy: str = "open"              # or "closed" (sensitivity knob)
     read_scheduler: str = "fcfs"           # or "frfcfs" (row hits first)
+    # Arm the runtime invariant sanitizer (repro.lint.sanitize) for this
+    # run.  Deliberately NOT part of cache_key(): the sanitizer is
+    # read-only, so sanitized and unsanitized runs produce bit-identical
+    # results and share cache entries.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.warmup_accesses < 0 or self.measure_accesses < 1:
@@ -92,7 +97,7 @@ class SimConfig:
             measure_accesses=max(2000, int(self.measure_accesses * fraction)),
         )
 
-    def cache_key(self) -> tuple:
+    def cache_key(self) -> Tuple[Any, ...]:
         """Hashable identity for result caching."""
         return (
             self.workload, self.policy_name, self.slow_factor,

@@ -10,16 +10,25 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional, Tuple
 
+from repro.lint.sanitize import check, resolve
+
 Callback = Callable[[], None]
 
 
 class EventQueue:
-    """A min-heap of timestamped callbacks with stable FIFO tie-breaking."""
+    """A min-heap of timestamped callbacks with stable FIFO tie-breaking.
 
-    def __init__(self) -> None:
+    With the sanitizer armed (``sanitize=True``, or ``REPRO_SANITIZE=1``
+    when the argument is left at ``None``) every pop verifies the simulated
+    clock is monotone nondecreasing and raises
+    :class:`~repro.lint.sanitize.InvariantViolation` otherwise.
+    """
+
+    def __init__(self, sanitize: Optional[bool] = None) -> None:
         self._heap: List[Tuple[float, int, Callback]] = []
         self._seq = 0
         self.now: float = 0.0
+        self._sanitize = resolve(sanitize)
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -47,7 +56,13 @@ class EventQueue:
         """Run the earliest event.  Returns False when the queue is empty."""
         if not self._heap:
             return False
-        time_ns, _, callback = heapq.heappop(self._heap)
+        time_ns, seq, callback = heapq.heappop(self._heap)
+        if self._sanitize:
+            check(
+                time_ns >= self.now, "event-time-monotonicity",
+                "event queue popped an event from the past",
+                event_time_ns=time_ns, now_ns=self.now, sequence=seq,
+            )
         self.now = time_ns
         callback()
         return True

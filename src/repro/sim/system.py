@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import copy
 import random
-from typing import Optional
+from typing import TYPE_CHECKING, List, Optional, Union
 
 from repro.cache.llc import LastLevelCache
 from repro.core.wear_quota import WearQuota
@@ -20,6 +20,7 @@ from repro.endurance.model import EnduranceModel
 from repro.endurance.flipnwrite import FlipNWrite
 from repro.endurance.wear import WearTracker
 from repro.energy.nvsim import LineEnergyModel
+from repro.lint.sanitize import env_enabled
 from repro.memory.address import AddressMap
 from repro.memory.controller import MemoryController
 from repro.memory.drambuffer import DramWriteBuffer
@@ -27,14 +28,17 @@ from repro.memory.timing import MemoryTiming
 from repro.sim.config import SimConfig
 from repro.sim.events import EventQueue
 from repro.sim.stats import RunResult
-from repro.workloads.profiles import get_profile
+from repro.workloads.profiles import WorkloadProfile, get_profile
+
+if TYPE_CHECKING:
+    from repro.workloads.mix import WorkloadMix
 
 
 class DeadlockError(RuntimeError):
     """The event queue drained while the core still had work to do."""
 
 
-def _resolve_workload(name: str):
+def _resolve_workload(name: str) -> Union[WorkloadProfile, "WorkloadMix"]:
     """A workload is either a Table IV profile or a multiprogrammed mix."""
     try:
         return get_profile(name)
@@ -51,7 +55,11 @@ class System:
         profile = _resolve_workload(config.workload)
         self.profile = profile
 
-        self.events = EventQueue()
+        # The runtime sanitizer is armed per-run by SimConfig.sanitize or
+        # process-wide by REPRO_SANITIZE=1; either source arms every
+        # component of this system.
+        self.sanitize = config.sanitize or env_enabled()
+        self.events = EventQueue(sanitize=self.sanitize)
         self.amap = AddressMap(
             num_banks=config.num_banks,
             num_ranks=config.num_ranks,
@@ -64,6 +72,7 @@ class System:
             blocks_per_bank=self.amap.blocks_per_bank,
             model=self.endurance,
             leveling_efficiency=config.leveling_efficiency,
+            sanitize=self.sanitize,
         )
         self.quota: Optional[WearQuota] = None
         if policy.wear_quota:
@@ -101,6 +110,7 @@ class System:
             cancel_threshold=config.cancel_threshold,
             page_policy=config.page_policy,
             read_scheduler=config.read_scheduler,
+            sanitize=self.sanitize,
         )
         self.dram_buffer: Optional[DramWriteBuffer] = None
         if config.dram_buffer_entries > 0:
@@ -136,6 +146,7 @@ class System:
         backpressure.
         """
         buffer = self.dram_buffer
+        assert buffer is not None, "writeback sink wired without a buffer"
         if buffer.contains(block) or not buffer.full:
             buffer.insert(block)
             return True
@@ -186,11 +197,12 @@ class System:
     def _end_warmup(self) -> None:
         self._measure_start_ns = self.events.now
         self.llc.reset_statistics()
+        # Zero the wear tallies before the controller reset so the
+        # controller re-anchors its wear-conservation cross-check against
+        # the already-cleared records.
+        self.wear.reset_records()
         self.controller.reset_statistics()
         self.core.mark_counters_reset()
-        for record in self.wear.records:
-            record.normal_writes = 0.0
-            record.slow_writes_by_factor.clear()
         if self.quota is not None:
             self.quota.reset_statistics()
         if self.dram_buffer is not None:
@@ -267,16 +279,21 @@ class System:
 
     def _collect(self) -> RunResult:
         config = self.config
-        window = self._measure_end_ns - self._measure_start_ns
+        measure_start = self._measure_start_ns
+        measure_end = self._measure_end_ns
+        assert measure_start is not None and measure_end is not None, (
+            "statistics collected before the measurement window closed"
+        )
+        window = measure_end - measure_start
         if window <= 0:
             raise RuntimeError("empty measurement window")
 
         # Trim bank busy time that extends past the end of the window.
-        bank_utilizations = []
+        bank_utilizations: List[float] = []
         for bank in self.controller.banks:
             busy = bank.busy_time_ns
-            if bank.busy_until > self._measure_end_ns:
-                busy -= bank.busy_until - self._measure_end_ns
+            if bank.busy_until > measure_end:
+                busy -= bank.busy_until - measure_end
             bank_utilizations.append(max(0.0, busy) / window)
         utilization = sum(bank_utilizations) / len(bank_utilizations)
 

@@ -30,7 +30,7 @@ def test_now_tracks_event_time():
     eq.schedule(42.5, lambda: seen.append(eq.now))
     eq.run_all()
     assert seen == [42.5]
-    assert eq.now == 42.5
+    assert eq.now == 42.5   # simlint: ignore[SIM004] -- exact by construction (clock set from this literal)
 
 
 def test_schedule_in_is_relative():
@@ -63,14 +63,14 @@ def test_run_until_stops_at_boundary_inclusive():
     eq.schedule(30, lambda: hits.append(30))
     eq.run_until(20)
     assert hits == [10, 20]
-    assert eq.now == 20
+    assert eq.now == 20   # simlint: ignore[SIM004] -- exact by construction (clock set from this literal)
     assert len(eq) == 1
 
 
 def test_run_until_advances_now_when_no_events():
     eq = EventQueue()
     eq.run_until(100)
-    assert eq.now == 100
+    assert eq.now == 100   # simlint: ignore[SIM004] -- exact by construction (clock set from this literal)
 
 
 def test_pop_and_run_empty_returns_false():

@@ -1,0 +1,319 @@
+"""simlint: every rule with positive, negative and suppression coverage.
+
+The star witness is the PR-1 seeding bug: ``rng = random.Random((hash(...)``
+in the workload trace generator made every process draw a different trace.
+``test_regression_pre_pr1_hash_seeding`` lints that exact line and must flag
+it forever.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import LintOptions, RULES, lint_paths, lint_source
+from repro.lint.engine import parse_suppressions
+from repro.lint.rules import unit_of_identifier
+
+
+def rule_ids(source, **kwargs):
+    return [f.rule_id for f in lint_source(source, **kwargs)]
+
+
+# --------------------------------------------------------------------------
+# The motivating regression: the exact pre-PR-1 seeding pattern
+# --------------------------------------------------------------------------
+
+# Verbatim shape of src/repro/workloads/profiles.py:53 at commit 0e5326f,
+# before PR 1 replaced hash() with zlib.crc32 (str hashing is randomized
+# per interpreter process, so parallel sweep workers disagreed on traces).
+PRE_PR1_SEEDING = """
+import random
+
+class WorkloadProfile:
+    def trace(self, seed=1):
+        rng = random.Random((hash(self.name) ^ seed) & 0x7FFFFFFF)
+        return rng
+"""
+
+
+def test_regression_pre_pr1_hash_seeding():
+    ids = rule_ids(PRE_PR1_SEEDING)
+    assert "SIM001" in ids
+
+def test_fixed_crc32_seeding_is_clean():
+    fixed = PRE_PR1_SEEDING.replace(
+        "hash(self.name)", "zlib.crc32(self.name.encode())"
+    ).replace("import random", "import random\nimport zlib")
+    assert rule_ids(fixed) == []
+
+
+# --------------------------------------------------------------------------
+# SIM001 hash-seeding
+# --------------------------------------------------------------------------
+
+def test_sim001_flags_hash_builtin():
+    assert rule_ids("x = hash('lbm') % 100\n") == ["SIM001"]
+
+def test_sim001_negative_crc32_and_methods():
+    clean = (
+        "import zlib\n"
+        "x = zlib.crc32(b'lbm')\n"
+        "y = obj.hash\n"          # attribute access, not the builtin call
+    )
+    assert rule_ids(clean) == []
+
+def test_sim001_suppression():
+    src = "x = hash('lbm')   # simlint: ignore[SIM001] -- not used for seeding\n"
+    assert rule_ids(src) == []
+
+
+# --------------------------------------------------------------------------
+# SIM002 global-random
+# --------------------------------------------------------------------------
+
+@pytest.mark.parametrize("call", [
+    "random.random()", "random.randint(0, 7)", "random.seed(42)",
+    "random.shuffle(items)", "random.Random()",
+])
+def test_sim002_flags_global_random(call):
+    assert rule_ids(f"import random\nx = {call}\n") == ["SIM002"]
+
+def test_sim002_negative_seeded_instances():
+    clean = (
+        "import random\n"
+        "rng = random.Random(1234)\n"
+        "value = rng.random()\n"       # instance method, not module-global
+        "other = self.rng.randint(0, 7)\n"
+    )
+    assert rule_ids(clean) == []
+
+def test_sim002_suppression():
+    src = "import random\nrandom.seed(0)   # simlint: ignore[SIM002] -- REPL convenience\n"
+    assert rule_ids(src) == []
+
+
+# --------------------------------------------------------------------------
+# SIM003 wall-clock
+# --------------------------------------------------------------------------
+
+@pytest.mark.parametrize("call", [
+    "time.time()", "time.time_ns()", "time.perf_counter()",
+    "time.monotonic()", "datetime.datetime.now()", "datetime.date.today()",
+])
+def test_sim003_flags_wall_clock(call):
+    assert rule_ids(f"import datetime, time\nt = {call}\n") == ["SIM003"]
+
+def test_sim003_negative_simulated_clock():
+    clean = (
+        "import time\n"
+        "t = self.events.now\n"
+        "time.sleep(0.1)\n"            # not a clock *read*
+    )
+    assert rule_ids(clean) == []
+
+def test_sim003_suppression_with_justification():
+    src = (
+        "import time\n"
+        "start = time.perf_counter()   "
+        "# simlint: ignore[SIM003] -- benchmarking host runtime\n"
+    )
+    assert rule_ids(src) == []
+
+
+# --------------------------------------------------------------------------
+# SIM004 float-time-eq
+# --------------------------------------------------------------------------
+
+@pytest.mark.parametrize("expr", [
+    "finish_ns == 150.0", "busy_until_ns != deadline_ns",
+    "eq.now == 42.5", "t_us == 0.15",
+])
+def test_sim004_flags_float_time_equality(expr):
+    assert rule_ids(f"flag = {expr}\n") == ["SIM004"]
+
+def test_sim004_negative_ordering_and_counts():
+    clean = (
+        "a = finish_ns <= 150.0\n"
+        "b = now >= deadline_ns\n"
+        "c = attempts == 3\n"          # plain count, not a time value
+    )
+    assert rule_ids(clean) == []
+
+def test_sim004_suppression():
+    src = "ok = eq.now == 42.5   # simlint: ignore[SIM004] -- exact by construction\n"
+    assert rule_ids(src) == []
+
+
+# --------------------------------------------------------------------------
+# SIM005 mutable-default
+# --------------------------------------------------------------------------
+
+@pytest.mark.parametrize("default", ["[]", "{}", "dict()", "set()", "deque()"])
+def test_sim005_flags_mutable_defaults(default):
+    assert rule_ids(f"def f(x={default}):\n    return x\n") == ["SIM005"]
+
+def test_sim005_negative_immutable_defaults():
+    clean = (
+        "def f(x=None, y=(), z='name', n=3):\n"
+        "    return x, y, z, n\n"
+    )
+    assert rule_ids(clean) == []
+
+def test_sim005_suppression():
+    src = (
+        "def f(x=[]):   # simlint: ignore[SIM005] -- intentional shared cache\n"
+        "    return x\n"
+    )
+    assert rule_ids(src) == []
+
+
+# --------------------------------------------------------------------------
+# SIM006 bare-except
+# --------------------------------------------------------------------------
+
+def test_sim006_flags_bare_except():
+    src = "try:\n    risky()\nexcept:\n    pass\n"
+    assert rule_ids(src) == ["SIM006"]
+
+def test_sim006_negative_typed_except():
+    src = "try:\n    risky()\nexcept ValueError:\n    pass\n"
+    assert rule_ids(src) == []
+
+def test_sim006_suppression():
+    src = (
+        "try:\n    risky()\n"
+        "except:   # simlint: ignore[SIM006] -- last-ditch crash reporter\n"
+        "    pass\n"
+    )
+    assert rule_ids(src) == []
+
+
+# --------------------------------------------------------------------------
+# SIM007 unit-mix
+# --------------------------------------------------------------------------
+
+@pytest.mark.parametrize("expr", [
+    "window_ns + lifetime_years",
+    "delay_ns - delay_us",
+    "window_ns < lifetime_years",
+])
+def test_sim007_flags_unit_mixes(expr):
+    assert rule_ids(f"x = {expr}\n") == ["SIM007"]
+
+def test_sim007_negative_same_unit_and_conversions():
+    clean = (
+        "a = start_ns + delay_ns\n"                # same unit
+        "b = window_ns / NS_PER_YEAR\n"            # division is a conversion
+        "c = lifetime_years * NS_PER_YEAR\n"       # factor is unit-neutral
+        "d = window_ns + NS_PER_YEAR\n"            # neutral operand
+    )
+    assert rule_ids(clean) == []
+
+def test_sim007_suppression():
+    src = "x = window_ns + lifetime_years   # simlint: ignore[SIM007]\n"
+    assert rule_ids(src) == []
+
+def test_unit_inference_rules():
+    assert unit_of_identifier("window_ns") == "ns"
+    assert unit_of_identifier("lifetime_years") == "years"
+    assert unit_of_identifier("NS_PER_YEAR") is None    # conversion factor
+    assert unit_of_identifier("nsamples") is None       # no unit suffix
+    assert unit_of_identifier("ns_budget") is None      # prefix, not suffix
+
+
+# --------------------------------------------------------------------------
+# Suppression syntax details
+# --------------------------------------------------------------------------
+
+def test_blanket_suppression_covers_every_rule():
+    src = "x = hash(time.time())   # simlint: ignore\n"
+    assert rule_ids(src) == []
+
+def test_suppression_for_other_rule_does_not_apply():
+    src = "x = hash('lbm')   # simlint: ignore[SIM003]\n"
+    assert rule_ids(src) == ["SIM001"]
+
+def test_suppression_is_line_scoped():
+    src = "# simlint: ignore[SIM001]\nx = hash('lbm')\n"
+    assert rule_ids(src) == ["SIM001"]
+
+def test_parse_suppressions_multiple_rules():
+    supp = parse_suppressions("x = 1  # simlint: ignore[SIM001, SIM003]\n")
+    assert supp == {1: {"SIM001", "SIM003"}}
+
+
+# --------------------------------------------------------------------------
+# Rule selection and engine behaviour
+# --------------------------------------------------------------------------
+
+MIXED = "import random\nx = hash(random.random())\n"
+
+def test_select_runs_only_chosen_rules():
+    findings = lint_source(MIXED, options=LintOptions(select=["SIM001"]))
+    assert [f.rule_id for f in findings] == ["SIM001"]
+
+def test_ignore_drops_chosen_rules():
+    findings = lint_source(MIXED, options=LintOptions(ignore=["SIM002"]))
+    assert [f.rule_id for f in findings] == ["SIM001"]
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(ValueError, match="unknown rule"):
+        LintOptions(select=["SIM999"])
+
+def test_findings_carry_location_and_hint():
+    finding, = lint_source("x = hash('lbm')\n", path="mod.py")
+    assert (finding.path, finding.line) == ("mod.py", 1)
+    assert finding.severity == RULES["SIM001"].severity
+    assert "crc32" in finding.hint
+    assert "hash" in finding.snippet
+
+def test_lint_paths_reports_syntax_errors_as_sim000(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    ok = tmp_path / "dirty.py"
+    ok.write_text("x = hash('a')\n")
+    ids = sorted(f.rule_id for f in lint_paths([tmp_path]))
+    assert ids == ["SIM000", "SIM001"]
+
+def test_lint_paths_missing_path_raises():
+    with pytest.raises(FileNotFoundError):
+        lint_paths(["no/such/dir"])
+
+
+# --------------------------------------------------------------------------
+# CLI integration (repro lint)
+# --------------------------------------------------------------------------
+
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("import zlib\nx = zlib.crc32(b'a')\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("x = hash('a')\n")
+    assert main(["lint", str(clean)]) == 0
+    assert main(["lint", str(dirty)]) == 1
+    assert main(["lint", str(tmp_path / "missing.py")]) == 2
+    capsys.readouterr()
+
+def test_cli_json_format(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("x = hash('a')\n")
+    assert main(["lint", "--format", "json", str(dirty)]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["counts"]["total"] == 1
+    assert report["findings"][0]["rule"] == "SIM001"
+
+def test_cli_select_and_ignore(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(MIXED)
+    assert main(["lint", "--select", "SIM002", str(dirty)]) == 1
+    assert main(["lint", "--ignore", "SIM001,SIM002", str(dirty)]) == 0
+    capsys.readouterr()
+
+
+# --------------------------------------------------------------------------
+# The repository lints itself
+# --------------------------------------------------------------------------
+
+def test_repository_source_is_lint_clean():
+    assert lint_paths(["src"]) == []
