@@ -5,7 +5,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint simlint typecheck test sanitize bench-sanitizer
+.PHONY: check lint simlint typecheck test sanitize bench-sanitizer \
+	trace-demo bench-telemetry
 
 check: lint simlint typecheck test
 	@echo "check: all gates passed"
@@ -33,3 +34,12 @@ sanitize:
 # Sanitizer overhead + bit-identity report.
 bench-sanitizer:
 	$(PYTHON) -m repro lint --bench
+
+# Trace one run end to end and leave a Perfetto-openable bundle behind.
+trace-demo:
+	REPRO_SCALE=0.2 $(PYTHON) examples/trace_a_run.py lbm trace_demo_bundle
+	@echo "trace-demo: open trace_demo_bundle/trace.chrome.json at https://ui.perfetto.dev"
+
+# Telemetry overhead + bit-identity gate (same check CI runs).
+bench-telemetry:
+	$(PYTHON) benchmarks/check_telemetry_overhead.py

@@ -1,14 +1,16 @@
-"""Export rendered tables as CSV/JSON for external plotting."""
+"""Export rendered tables and run results as CSV/JSON for external plotting."""
 
 from __future__ import annotations
 
 import csv
 import io
 import json
+from dataclasses import fields
 from pathlib import Path
-from typing import Union
+from typing import Any, Dict, Optional, Union
 
 from repro.analysis.report import Table
+from repro.sim.stats import RunResult
 
 PathLike = Union[str, Path]
 
@@ -37,6 +39,71 @@ def table_to_json(table: Table) -> str:
         "rows": rows,
         "notes": list(table.notes),
     }, indent=2, default=str)
+
+
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """JSON-ready dump of a :class:`RunResult`, composites included.
+
+    Field iteration is driven by ``dataclasses.fields`` so a field added
+    to RunResult shows up in exports automatically instead of being
+    silently dropped; only ``wear_records`` gets bespoke encoding, as a
+    per-bank breakdown (bank index, normal/slow tallies per factor, and
+    the derived total) rather than bare objects.
+    """
+    data: Dict[str, Any] = {}
+    for field_info in fields(result):
+        if field_info.name == "wear_records":
+            continue
+        data[field_info.name] = getattr(result, field_info.name)
+    data["wear_records"] = [
+        {
+            "bank": index,
+            "normal_writes": record.normal_writes,
+            "slow_writes_by_factor": {
+                str(factor): count
+                for factor, count in sorted(
+                    record.slow_writes_by_factor.items())
+            },
+            "total_writes": record.total_writes,
+        }
+        for index, record in enumerate(result.wear_records)
+    ]
+    return data
+
+
+#: Telemetry bundle files embedded into a ``--telemetry`` export.  The
+#: trace files are referenced by path instead: they can be orders of
+#: magnitude larger than the result document.
+_EMBEDDED_TELEMETRY_FILES = ("manifest.json", "metrics.json", "heatmap.json")
+
+
+def write_run_result(result: RunResult, path: PathLike,
+                     telemetry: Optional[PathLike] = None) -> Path:
+    """Write one run's full JSON export, optionally bundling telemetry.
+
+    With ``telemetry`` pointing at a bundle directory (as produced by
+    :meth:`repro.telemetry.Telemetry.write`), the manifest, metric time
+    series and wear heatmap are embedded under a ``"telemetry"`` key and
+    the trace files are referenced by absolute path.
+    """
+    path = Path(path)
+    document: Dict[str, Any] = {"result": run_result_to_dict(result)}
+    if telemetry is not None:
+        bundle = Path(telemetry)
+        embedded: Dict[str, Any] = {"bundle_dir": str(bundle.resolve())}
+        for name in _EMBEDDED_TELEMETRY_FILES:
+            file_path = bundle / name
+            if file_path.is_file():
+                embedded[name.removesuffix(".json")] = json.loads(
+                    file_path.read_text())
+        embedded["trace_files"] = [
+            str((bundle / name).resolve())
+            for name in ("trace.jsonl", "trace.chrome.json")
+            if (bundle / name).is_file()
+        ]
+        document["telemetry"] = embedded
+    path.write_text(json.dumps(document, indent=2, default=str))
+    return path
 
 
 def write_table(table: Table, path: PathLike) -> Path:

@@ -14,12 +14,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro import params
 from repro.cache.deadblock import DeadBlockPredictor
 from repro.cache.lru import AccessResult, CacheLine, LRUCache
 from repro.cache.profiler import StackProfiler
+from repro.telemetry import EV_EAGER_DEMOTE, NULL_TELEMETRY, Telemetry
 
 STACK_SELECTOR = "stack"
 DEADBLOCK_SELECTOR = "deadblock"
@@ -54,6 +55,7 @@ class LastLevelCache:
         sample_period_ns: float = params.PROFILE_PERIOD_NS,
         rng: Optional[random.Random] = None,
         eager_selector: str = STACK_SELECTOR,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
         if eager_selector not in (STACK_SELECTOR, DEADBLOCK_SELECTOR):
             raise ValueError(f"unknown eager selector {eager_selector!r}")
@@ -67,6 +69,22 @@ class LastLevelCache:
         )
         self.rng = rng if rng is not None else random.Random(0)
         self.stats = LLCStats()
+        self._tel = telemetry
+        if telemetry.enabled:
+            # Export the Section IV-B1 stack-position hit counters as
+            # per-epoch probes.  System samples telemetry *before*
+            # end_sample_period() resets the profiler, so each sampled
+            # value is the epoch's own hit count, not a cumulative total.
+            def _hit_probe(position: int) -> Callable[[], float]:
+                return lambda: float(self.profiler.hit_counters[position])
+            for position in range(assoc):
+                telemetry.metrics.probe(
+                    f"llc.stack_hits.p{position:02d}", _hit_probe(position))
+            telemetry.metrics.probe(
+                "llc.stack_misses", lambda: float(self.profiler.miss_counter))
+            telemetry.metrics.probe(
+                "llc.eager_position",
+                lambda: float(self.profiler.eager_position))
 
     def access(self, block: int, is_write: bool) -> AccessResult:
         """Demand access; updates the profiler and writeback stats."""
@@ -106,7 +124,13 @@ class LastLevelCache:
         line.dirty = False
         line.eager_cleaned = True
         self.stats.eager_writebacks += 1
-        return self.cache.block_of(set_index, line.tag)
+        block = self.cache.block_of(set_index, line.tag)
+        tel = self._tel
+        if tel.enabled:
+            tel.metrics.counter("llc.eager_demotions").value += 1.0
+            tel.tracer.record(tel.clock(), EV_EAGER_DEMOTE, block=block,
+                              detail=self.eager_selector)
+        return block
 
     def _pick_by_stack_position(self, set_index: int) -> Optional[CacheLine]:
         eager_position = self.profiler.eager_position

@@ -12,7 +12,10 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
+import shutil
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro import params
@@ -82,8 +85,77 @@ def _result_table(results) -> Table:
 
 def cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args, args.workload, args.policy)
-    result = Runner().run(config)
+    runner = Runner()
+    bundle: Optional[Path] = None
+    if args.telemetry:
+        result, bundle = runner.run_traced(config)
+    else:
+        result = runner.run(config)
     print(render(_result_table([result])))
+    if bundle is not None:
+        print(f"telemetry bundle: {bundle}")
+    if args.output:
+        from repro.analysis.export import write_run_result
+        path = write_run_result(result, args.output, telemetry=bundle)
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one config with telemetry and surface its event trace."""
+    config = _config_from_args(args, args.workload, args.policy)
+    result, bundle = Runner().run_traced(config)
+    manifest = json.loads((bundle / "manifest.json").read_text())
+    trace_info = manifest["trace"]
+    chrome_src = bundle / "trace.chrome.json"
+    if args.output:
+        shutil.copyfile(chrome_src, args.output)
+        chrome_dst = Path(args.output)
+    else:
+        chrome_dst = chrome_src
+    print(render(_result_table([result])))
+    print(
+        f"trace: {trace_info['retained']} events retained "
+        f"({trace_info['recorded']} recorded, {trace_info['dropped']} "
+        f"dropped; ring capacity {trace_info['capacity']}), "
+        f"{manifest['num_epochs']} epochs sampled"
+    )
+    print(f"chrome trace: {chrome_dst}  (open at https://ui.perfetto.dev)")
+    print(f"raw events:   {bundle / 'trace.jsonl'}")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run one config with telemetry and summarise its metric series."""
+    config = _config_from_args(args, args.workload, args.policy)
+    _result, bundle = Runner().run_traced(config)
+    metrics = json.loads((bundle / "metrics.json").read_text())
+    series = metrics["series"]
+    table = Table(
+        title=f"Telemetry metrics: {args.workload}/{args.policy} "
+              f"({len(metrics['sample_times_ns'])} epochs)",
+        columns=["series", "samples", "first", "last"],
+    )
+    shown = 0
+    for name in sorted(series):
+        if args.match and args.match not in name:
+            continue
+        column = series[name]
+        defined = [v for v in column if v is not None]
+        table.add_row(
+            name, len(column),
+            defined[0] if defined else "-",
+            defined[-1] if defined else "-",
+        )
+        shown += 1
+    print(render(table))
+    if not shown and args.match:
+        print(f"no series matching {args.match!r} "
+              f"({len(series)} series total)", file=sys.stderr)
+        return 1
+    if args.output:
+        shutil.copyfile(bundle / "metrics.json", args.output)
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -241,7 +313,35 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="simulate one workload under one policy",
     )
     _add_run_arguments(run_parser)
+    run_parser.add_argument("--telemetry", action="store_true",
+                            help="record telemetry (metrics, trace, "
+                                 "heatmap) alongside the run")
+    run_parser.add_argument("--output", default=None,
+                            help="write the full result as JSON (includes "
+                                 "telemetry when --telemetry is set)")
     run_parser.set_defaults(handler=cmd_run)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="run with telemetry and export a Perfetto-ready "
+                      "Chrome trace",
+    )
+    _add_run_arguments(trace_parser)
+    trace_parser.add_argument("--output", default=None,
+                              help="copy the Chrome trace JSON here "
+                                   "(default: leave it in the bundle dir)")
+    trace_parser.set_defaults(handler=cmd_trace)
+
+    metrics_parser = subparsers.add_parser(
+        "metrics", help="run with telemetry and summarise the metric "
+                        "time series",
+    )
+    _add_run_arguments(metrics_parser)
+    metrics_parser.add_argument("--match", default=None,
+                                help="only show series containing this "
+                                     "substring (e.g. 'queue.' or 'bank.')")
+    metrics_parser.add_argument("--output", default=None,
+                                help="copy the metrics JSON here")
+    metrics_parser.set_defaults(handler=cmd_metrics)
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="simulate a workload x policy grid",

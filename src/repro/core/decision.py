@@ -18,6 +18,7 @@ from __future__ import annotations
 from repro.core.bank_aware import bank_aware_wants_slow
 from repro.core.policies import WritePolicy
 from repro.memory.queues import EAGER, WRITE
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 def choose_write_factor(
@@ -26,6 +27,7 @@ def choose_write_factor(
     other_writes_for_bank: int,
     reads_for_bank: int,
     quota_exceeded: bool,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> float:
     """Slowdown factor for the write being issued (1.0 = normal speed).
 
@@ -36,6 +38,7 @@ def choose_write_factor(
     """
     slow = choose_write_speed(
         policy, kind, other_writes_for_bank, reads_for_bank, quota_exceeded,
+        telemetry=telemetry,
     )
     if slow:
         return policy.slow_factor
@@ -55,6 +58,7 @@ def choose_write_speed(
     other_writes_for_bank: int,
     reads_for_bank: int,
     quota_exceeded: bool,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> bool:
     """Return True when the write should be issued slow.
 
@@ -66,6 +70,8 @@ def choose_write_speed(
         reads_for_bank: same-bank read-queue occupancy.
         quota_exceeded: Wear Quota slow-only gate for the bank (only honoured
             when the policy enables +WQ).
+        telemetry: passed through to the Bank-Aware predicate so its
+            decision mix is counted when telemetry is enabled.
     """
     if kind == EAGER:
         if not policy.eager:
@@ -79,5 +85,6 @@ def choose_write_speed(
     if policy.wear_quota and quota_exceeded:
         return True
     if policy.bank_aware:
-        return bank_aware_wants_slow(other_writes_for_bank, reads_for_bank)
+        return bank_aware_wants_slow(other_writes_for_bank, reads_for_bank,
+                                     telemetry=telemetry)
     return False

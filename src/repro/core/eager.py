@@ -19,6 +19,14 @@ the block that owns the state:
 This module re-exports the pieces so the paper's contribution is
 navigable from ``repro.core`` alongside Bank-Aware and Wear Quota, and
 provides the storage-overhead accounting of Section IV-E.
+
+Observability: the mechanism's telemetry follows the same ownership
+split.  The LLC side emits ``eager_demote`` trace events and the
+``llc.eager_demotions`` counter plus the per-epoch stack-position probes
+(``llc.stack_hits.pNN``, ``llc.stack_misses``, ``llc.eager_position``);
+the controller side counts ``ctrl.eager_issued`` and tracks the eager
+queue through ``queue.eager.depth`` / ``queue.eager.peak``.
+:data:`EAGER_TELEMETRY_SERIES` enumerates them for tooling.
 """
 
 from __future__ import annotations
@@ -33,11 +41,23 @@ from repro.cache.profiler import StackProfiler
 __all__ = [
     "DEADBLOCK_SELECTOR",
     "DeadBlockPredictor",
+    "EAGER_TELEMETRY_SERIES",
     "LastLevelCache",
     "STACK_SELECTOR",
     "StackProfiler",
     "eager_storage_overhead_bits",
 ]
+
+#: Telemetry series emitted by the Eager Mellow Writes mechanism (fixed
+#: names; the ``llc.stack_hits.pNN`` probes add one series per LLC way).
+EAGER_TELEMETRY_SERIES = (
+    "llc.eager_demotions",
+    "llc.eager_position",
+    "llc.stack_misses",
+    "ctrl.eager_issued",
+    "queue.eager.depth",
+    "queue.eager.peak",
+)
 
 
 def eager_storage_overhead_bits(

@@ -14,9 +14,11 @@ comparable to the endurance limit regardless of the write-speed mix.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro import params
+from repro.telemetry import EV_QUOTA_TRIP, NULL_TELEMETRY, Telemetry
+from repro.telemetry.metrics import Counter, Gauge
 
 
 class WearQuota:
@@ -30,6 +32,7 @@ class WearQuota:
         target_lifetime_years: float = params.TARGET_LIFETIME_YEARS,
         period_ns: float = params.WEAR_QUOTA_PERIOD_NS,
         ratio_quota: float = params.RATIO_QUOTA,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
         if num_banks < 1:
             raise ValueError("num_banks must be >= 1")
@@ -46,6 +49,12 @@ class WearQuota:
         self.slow_only: List[bool] = [False] * num_banks
         self.previous_periods = 0
         self.slow_only_periods = 0   # total bank-periods spent gated
+        self._tel = telemetry
+        self._trips: Optional[Counter] = None
+        self._gated_gauge: Optional[Gauge] = None
+        if telemetry.enabled:
+            self._trips = telemetry.metrics.counter("quota.trips")
+            self._gated_gauge = telemetry.metrics.gauge("quota.banks_gated")
 
     def record_wear(self, bank: int, damage: float) -> None:
         """Account ``damage`` normal-write equivalents to ``bank``."""
@@ -57,13 +66,33 @@ class WearQuota:
         return self.cumulative_wear[bank] - budget
 
     def start_period(self) -> None:
-        """Begin a new sample period: refresh every bank's slow-only gate."""
+        """Begin a new sample period: refresh every bank's slow-only gate.
+
+        With telemetry enabled, a bank transitioning from free to gated
+        emits a ``quota_trip`` trace event, and the ``quota.banks_gated``
+        gauge reflects the gate population for the epoch that now begins
+        (so it is sampled at the *next* epoch close, describing the epoch
+        it governed).
+        """
         self.previous_periods += 1
+        tel = self._tel
+        gated_count = 0
         for bank in range(self.num_banks):
-            gated = self.exceed_quota(bank) > 0.0
-            self.slow_only[bank] = gated
+            exceed = self.exceed_quota(bank)
+            gated = exceed > 0.0
             if gated:
                 self.slow_only_periods += 1
+                gated_count += 1
+                if tel.enabled and not self.slow_only[bank]:
+                    tel.tracer.record(
+                        tel.clock(), EV_QUOTA_TRIP, bank=bank,
+                        detail=f"exceed={exceed:.4g}",
+                    )
+                    if self._trips is not None:
+                        self._trips.value += 1.0
+            self.slow_only[bank] = gated
+        if self._gated_gauge is not None:
+            self._gated_gauge.set(float(gated_count))
 
     def is_slow_only(self, bank: int) -> bool:
         return self.slow_only[bank]

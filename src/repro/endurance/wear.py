@@ -171,6 +171,15 @@ class WearTracker:
                     model: Optional[EnduranceModel] = None) -> float:
         return self.records[bank].damage(model or self.model)
 
+    def bank_damages(self, model: Optional[EnduranceModel] = None) -> List[float]:
+        """All banks' cumulative damage, in bank order.
+
+        This is the telemetry wear-heatmap probe: O(num_banks) per call,
+        read-only, and sampled once per epoch.
+        """
+        chosen = model or self.model
+        return [record.damage(chosen) for record in self.records]
+
     def bank_lifetime_ns(
         self, bank: int, window_ns: float,
         model: Optional[EnduranceModel] = None,

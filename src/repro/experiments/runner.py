@@ -30,9 +30,10 @@ from __future__ import annotations
 import json
 import logging
 import os
+import shutil
 import tempfile
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, replace
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
@@ -40,6 +41,7 @@ from repro.endurance.wear import BankWearRecord
 from repro.sim.config import SimConfig, digest_for_key
 from repro.sim.stats import RunResult
 from repro.sim.system import run_simulation
+from repro.telemetry import bundle_is_complete
 from repro.workloads.profiles import WORKLOAD_NAMES
 
 logger = logging.getLogger(__name__)
@@ -48,16 +50,16 @@ logger = logging.getLogger(__name__)
 #: changes; entries with any other version re-simulate.
 CACHE_SCHEMA_VERSION = 2
 
+#: RunResult fields with structured (non-scalar) serialisations.
+_COMPOSITE_FIELDS = ("bank_utilizations", "wear_records")
+
+#: Derived from the dataclass itself so a field added to RunResult is
+#: serialised automatically instead of being silently dropped; a new
+#: composite field must be added to _COMPOSITE_FIELDS (and given explicit
+#: encode/decode logic below) or it will round-trip as-is and fail the
+#: strict key check in result_from_dict.
 _SCALAR_FIELDS = [
-    "workload", "policy", "slow_factor", "num_banks", "expo_factor",
-    "window_ns", "instructions", "accesses", "ipc", "lifetime_years",
-    "bank_utilization", "drain_fraction", "avg_read_latency_ns",
-    "llc_misses", "llc_hits", "mpki", "writebacks", "eager_writebacks",
-    "wasted_eager", "reads_issued", "read_row_hits", "read_row_misses",
-    "writes_issued_normal", "writes_issued_slow", "eager_issued",
-    "cancellations", "pauses", "drain_events", "read_energy_pj",
-    "write_energy_pj", "avg_read_queue_depth", "avg_write_queue_depth",
-    "blocks_per_bank", "leveling_efficiency",
+    f.name for f in fields(RunResult) if f.name not in _COMPOSITE_FIELDS
 ]
 
 
@@ -79,7 +81,19 @@ def result_to_dict(result: RunResult) -> dict:
 
 
 def result_from_dict(data: dict) -> RunResult:
-    bank_utilizations = data.pop("bank_utilizations", [])
+    # Strict key-set check: a payload written by a different RunResult
+    # layout (field added or removed) must read as a cache miss, not load
+    # with fields quietly zeroed.
+    expected = set(_SCALAR_FIELDS) | set(_COMPOSITE_FIELDS)
+    actual = set(data)
+    if actual != expected:
+        raise ValueError(
+            "RunResult payload keys drifted: "
+            f"missing={sorted(expected - actual)} "
+            f"unexpected={sorted(actual - expected)}"
+        )
+    data = dict(data)
+    bank_utilizations = data.pop("bank_utilizations")
     records = []
     for item in data.pop("wear_records"):
         record = BankWearRecord(normal_writes=item["normal"])
@@ -191,7 +205,10 @@ def _simulate_to_dict(config: SimConfig) -> dict:
 
     Returning a dict (rather than a RunResult) keeps the IPC payload
     decoupled from dataclass layout and is exactly what the parent writes
-    to disk; the parent process owns all cache traffic.
+    to disk; the parent process owns all cache traffic.  Telemetry is the
+    one exception: when the config carries a ``telemetry_dir`` the worker
+    writes the bundle itself at end of run (atomically, manifest last),
+    so no telemetry payload crosses the process boundary.
     """
     return result_to_dict(run_simulation(config))
 
@@ -210,6 +227,36 @@ class Runner:
 
     def _path_for(self, config: SimConfig) -> Path:
         return self.cache_dir / f"{config.cache_digest()}.json"
+
+    def _telemetry_path(self, config: SimConfig) -> Path:
+        """Default telemetry bundle location: next to the cache entry."""
+        return self.cache_dir / f"{config.cache_digest()}.telemetry"
+
+    def _with_telemetry_dir(self, config: SimConfig) -> SimConfig:
+        """Give a telemetry-enabled config a concrete output directory.
+
+        Filling the default in here (rather than inside the simulator)
+        keeps telemetry files co-located with the cache entry of the same
+        digest.  ``telemetry_dir`` is not part of cache_key(), so this
+        substitution never changes cache identity.
+        """
+        if config.telemetry and config.telemetry_dir is None:
+            return replace(
+                config, telemetry_dir=str(self._telemetry_path(config)))
+        return config
+
+    @staticmethod
+    def _telemetry_satisfied(config: SimConfig) -> bool:
+        """Whether a cached result alone satisfies this config.
+
+        A telemetry-enabled config also needs a complete bundle on disk;
+        if it is missing, the run re-simulates (producing a bit-identical
+        result, since telemetry never perturbs the simulation) purely to
+        regenerate the bundle.
+        """
+        if not config.telemetry or config.telemetry_dir is None:
+            return True
+        return bundle_is_complete(Path(config.telemetry_dir))
 
     def _load_disk(self, config: SimConfig) -> Optional[RunResult]:
         """Fetch from disk; any unreadable entry warns and reads as a miss."""
@@ -242,19 +289,34 @@ class Runner:
                               entry_to_json(config, result))
 
     def run(self, config: SimConfig) -> RunResult:
+        config = self._with_telemetry_dir(config)
         key = config.cache_key()
-        if key in self._memo:
-            self.cache_hits += 1
-            return self._memo[key]
-        result = self._load_disk(config)
-        if result is not None:
-            self._memo[key] = result
-            self.cache_hits += 1
-            return result
+        if self._telemetry_satisfied(config):
+            if key in self._memo:
+                self.cache_hits += 1
+                return self._memo[key]
+            result = self._load_disk(config)
+            if result is not None:
+                self._memo[key] = result
+                self.cache_hits += 1
+                return result
         result = run_simulation(config)
         self.simulated += 1
         self._store(config, result)
         return result
+
+    def run_traced(self, config: SimConfig) -> "tuple[RunResult, Path]":
+        """Run with telemetry forced on; returns (result, bundle dir).
+
+        The result is bit-identical to an untraced run of the same config
+        and shares its cache entry; the second element is the directory
+        holding the telemetry bundle (metrics/heatmap/traces/manifest).
+        """
+        config = self._with_telemetry_dir(
+            replace(config, telemetry=True))
+        result = self.run(config)
+        assert config.telemetry_dir is not None
+        return result, Path(config.telemetry_dir)
 
     def scaled(self, config: SimConfig) -> RunResult:
         """Run with window lengths scaled by REPRO_SCALE."""
@@ -278,7 +340,8 @@ class Runner:
         ``REPRO_JOBS`` (or all cores); ``progress`` receives one
         :class:`SweepProgress` per completed run.
         """
-        configs = [self._scaled_config(c) for c in configs]
+        configs = [self._with_telemetry_dir(self._scaled_config(c))
+                   for c in configs]
         total = len(configs)
         jobs = default_jobs() if jobs is None else max(1, jobs)
         results: Dict[int, RunResult] = {}
@@ -293,27 +356,32 @@ class Runner:
                     result=result, from_cache=from_cache,
                 ))
 
-        # Resolve memo/disk hits up front; group the misses by cache key so
-        # duplicate grid points cost one simulation.
+        # Resolve memo/disk hits up front; group the misses by cache key
+        # (plus telemetry destination - a traced and an untraced grid
+        # point share a result but not a bundle) so duplicate grid points
+        # cost one simulation.
         miss_indices: Dict[tuple, List[int]] = {}
         for i, config in enumerate(configs):
+            group = (config.cache_key(), config.telemetry,
+                     config.telemetry_dir)
+            if group in miss_indices:
+                miss_indices[group].append(i)
+                continue
             key = config.cache_key()
-            if key in miss_indices:
-                miss_indices[key].append(i)
-                continue
-            if key in self._memo:
-                self.cache_hits += 1
-                results[i] = self._memo[key]
-                report(i, results[i], from_cache=True)
-                continue
-            cached = self._load_disk(config)
-            if cached is not None:
-                self._memo[key] = cached
-                self.cache_hits += 1
-                results[i] = cached
-                report(i, cached, from_cache=True)
-                continue
-            miss_indices[key] = [i]
+            if self._telemetry_satisfied(config):
+                if key in self._memo:
+                    self.cache_hits += 1
+                    results[i] = self._memo[key]
+                    report(i, results[i], from_cache=True)
+                    continue
+                cached = self._load_disk(config)
+                if cached is not None:
+                    self._memo[key] = cached
+                    self.cache_hits += 1
+                    results[i] = cached
+                    report(i, cached, from_cache=True)
+                    continue
+            miss_indices[group] = [i]
 
         def finish(indices: List[int], result: RunResult) -> None:
             self.simulated += 1
@@ -362,9 +430,13 @@ def cache_stats(cache_dir: Optional[Path] = None) -> dict:
         "valid": 0,
         "invalid": 0,
         "schema_versions": {},
+        "telemetry_bundles": 0,
     }
     if not directory.is_dir():
         return stats
+    for bundle in directory.glob("*.telemetry"):
+        if bundle.is_dir():
+            stats["telemetry_bundles"] += 1
     for path in sorted(directory.glob("*.json")):
         stats["entries"] += 1
         stats["total_bytes"] += path.stat().st_size
@@ -410,7 +482,8 @@ def cache_verify(cache_dir: Optional[Path] = None) -> dict:
 
 
 def cache_clear(cache_dir: Optional[Path] = None) -> int:
-    """Delete all cache entries (and stray temp files); returns the count."""
+    """Delete all cache entries, telemetry bundles and stray temp files;
+    returns the count of entries removed (a bundle counts as one)."""
     directory = resolve_cache_dir(cache_dir)
     removed = 0
     if not directory.is_dir():
@@ -419,6 +492,13 @@ def cache_clear(cache_dir: Optional[Path] = None) -> int:
         for path in directory.glob(pattern):
             try:
                 path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    for bundle in directory.glob("*.telemetry"):
+        if bundle.is_dir():
+            try:
+                shutil.rmtree(bundle)
                 removed += 1
             except OSError:
                 pass

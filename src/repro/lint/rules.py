@@ -24,6 +24,9 @@ Rule index:
 * ``SIM007`` unit-mix           - additive arithmetic or comparison mixing
   identifiers of different time units (``_ns`` vs ``_us``/``_years``)
   without an explicit conversion.
+* ``SIM008`` telemetry-wall-clock - any ``time``/``datetime`` import or
+  dotted call inside ``src/repro/telemetry/``; telemetry timestamps must
+  come from the simulated clock or traced runs stop being bit-identical.
 """
 
 from __future__ import annotations
@@ -99,6 +102,16 @@ RULES: Dict[str, RuleInfo] = {
                  "*_PER_* constant) or rename the identifier to its true "
                  "unit",
         ),
+        RuleInfo(
+            rule_id="SIM008",
+            name="telemetry-wall-clock",
+            severity="error",
+            summary="wall-clock module use inside repro.telemetry; "
+                    "telemetry timestamps must come from simulated time",
+            hint="take the timestamp as a now_ns argument (or the "
+                 "Telemetry clock callable) instead of importing "
+                 "time/datetime",
+        ),
     )
 }
 
@@ -147,6 +160,25 @@ UNIT_TOKENS: Dict[str, str] = {
 
 #: Units SIM004 treats as float simulated time.
 FLOAT_TIME_UNITS = frozenset({"ns", "us", "ms"})
+
+# --------------------------------------------------------------------------
+# SIM008: the telemetry package is wall-clock-free by construction
+# --------------------------------------------------------------------------
+
+#: Modules repro.telemetry may not import at all.  SIM003 bans specific
+#: wall-clock *calls* everywhere; inside the telemetry package the whole
+#: module is off-limits so no future helper can smuggle host time into
+#: trace timestamps (which must be simulated time for bit-identical runs).
+TELEMETRY_BANNED_MODULES = frozenset({"time", "datetime"})
+
+#: Normalized path fragment that marks a file as part of the telemetry
+#: package.
+_TELEMETRY_PATH_FRAGMENT = "repro/telemetry/"
+
+
+def is_telemetry_path(path: str) -> bool:
+    """True when ``path`` lies inside ``src/repro/telemetry/``."""
+    return _TELEMETRY_PATH_FRAGMENT in path.replace("\\", "/")
 
 
 def unit_of_identifier(name: str) -> Optional[str]:
@@ -208,8 +240,9 @@ class _RuleVisitor(ast.NodeVisitor):
     def __init__(self, path: str, emit: Callable[..., None]) -> None:
         self.path = path
         self.emit = emit
+        self.in_telemetry = is_telemetry_path(path)
 
-    # -- SIM001 / SIM002 / SIM003 -------------------------------------
+    # -- SIM001 / SIM002 / SIM003 / SIM008 ----------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
@@ -223,6 +256,7 @@ class _RuleVisitor(ast.NodeVisitor):
         if dotted is not None:
             self._check_random_call(node, dotted)
             self._check_wall_clock_call(node, dotted)
+            self._check_telemetry_clock_call(node, dotted)
         self.generic_visit(node)
 
     @staticmethod
@@ -266,6 +300,40 @@ class _RuleVisitor(ast.NodeVisitor):
                 "SIM003", node,
                 f"{'.'.join(dotted)}() reads the host wall clock",
             )
+
+    # -- SIM008 --------------------------------------------------------
+
+    def _check_telemetry_clock_call(self, node: ast.Call,
+                                    dotted: Tuple[str, ...]) -> None:
+        if not self.in_telemetry or len(dotted) < 2:
+            return
+        if dotted[0] in TELEMETRY_BANNED_MODULES:
+            self.emit(
+                "SIM008", node,
+                f"{'.'.join(dotted)}() inside repro.telemetry; trace "
+                "timestamps must come from simulated time",
+            )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if self.in_telemetry:
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in TELEMETRY_BANNED_MODULES:
+                    self.emit(
+                        "SIM008", node,
+                        f"import of {alias.name!r} inside repro.telemetry",
+                    )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self.in_telemetry and node.module is not None:
+            root = node.module.split(".")[0]
+            if root in TELEMETRY_BANNED_MODULES:
+                self.emit(
+                    "SIM008", node,
+                    f"import from {node.module!r} inside repro.telemetry",
+                )
+        self.generic_visit(node)
 
     # -- SIM004 / SIM007 ----------------------------------------------
 

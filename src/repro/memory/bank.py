@@ -45,6 +45,10 @@ class Bank:
         self.busy_until: float = 0.0
         self.in_flight: Optional[InFlight] = None
         self.busy_time_ns: float = 0.0   # accumulated for utilization stats
+        # Lifetime operation tallies; exported per-bank by telemetry probes
+        # and cheap enough (one integer add) to keep unconditionally.
+        self.ops_begun = 0
+        self.ops_cancelled = 0
 
     def is_idle(self, now: float) -> bool:
         return now >= self.busy_until
@@ -59,6 +63,7 @@ class Bank:
         self.in_flight = op
         self.busy_until = op.finish_ns
         self.busy_time_ns += op.finish_ns - op.start_ns
+        self.ops_begun += 1
 
     def complete(self) -> None:
         """Mark the in-flight operation finished."""
@@ -75,6 +80,7 @@ class Bank:
         self.busy_time_ns -= max(0.0, op.finish_ns - now)
         self.busy_until = now
         self.in_flight = None
+        self.ops_cancelled += 1
         return op
 
     def open_row_for(self, row: int) -> None:

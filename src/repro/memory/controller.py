@@ -19,6 +19,7 @@ Scheduling rules (Sections IV and V, Table II):
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, List, Optional
 
 from repro import params
@@ -33,6 +34,44 @@ from repro.memory.queues import EAGER, READ, WRITE, Request, RequestQueue
 from repro.memory.rank import RankFawLimiter
 from repro.memory.timing import MemoryTiming
 from repro.sim.events import EventQueue
+from repro.telemetry import (EV_CANCEL, EV_COMPLETE, EV_DRAIN_ENTER,
+                             EV_DRAIN_EXIT, EV_ENQUEUE, EV_ISSUE, EV_PAUSE,
+                             NULL_TELEMETRY, Telemetry)
+from repro.telemetry.metrics import Counter
+
+
+class _ControllerTelemetry:
+    """Pre-resolved instrument references for the enabled-telemetry path.
+
+    Resolving every counter once at construction keeps the per-event cost
+    of *enabled* telemetry to attribute loads; the *disabled* path never
+    builds this object at all and pays a single ``is not None`` check per
+    instrumentation site.
+    """
+
+    def __init__(self, telemetry: Telemetry, num_banks: int) -> None:
+        self.tel = telemetry
+        # Bound method, saving two attribute loads per trace record.
+        self.record = telemetry.tracer.record
+        metrics = telemetry.metrics
+        self.reads_issued = metrics.counter("ctrl.reads_issued")
+        self.writes_normal = metrics.counter("ctrl.writes_normal")
+        self.writes_slow = metrics.counter("ctrl.writes_slow")
+        self.eager_issued = metrics.counter("ctrl.eager_issued")
+        self.cancellations = metrics.counter("ctrl.cancellations")
+        self.pauses = metrics.counter("ctrl.pauses")
+        self.drains = metrics.counter("ctrl.drains")
+        self.drain_active = metrics.gauge("ctrl.drain_active")
+        self.read_latency = metrics.histogram("ctrl.read_latency_ns")
+        # Per-bank slow/normal issue mix (the Bank-Aware observable).
+        self.bank_slow: List[Counter] = [
+            metrics.counter(f"bank.{i:02d}.writes_slow")
+            for i in range(num_banks)
+        ]
+        self.bank_normal: List[Counter] = [
+            metrics.counter(f"bank.{i:02d}.writes_normal")
+            for i in range(num_banks)
+        ]
 
 
 class ControllerStats:
@@ -95,6 +134,7 @@ class MemoryController:
         page_policy: str = "open",
         read_scheduler: str = "fcfs",
         sanitize: Optional[bool] = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
         self.events = events
         self.policy = policy
@@ -119,12 +159,20 @@ class MemoryController:
             return self.events.now
 
         self._sanitize = resolve(sanitize)
+        self.telemetry = telemetry
+        self._ts: Optional[_ControllerTelemetry] = (
+            _ControllerTelemetry(telemetry, self.amap.num_banks)
+            if telemetry.enabled else None
+        )
         self.read_q = RequestQueue(read_queue_entries, "read", clock=clock,
-                                   sanitize=self._sanitize)
+                                   sanitize=self._sanitize,
+                                   telemetry=telemetry)
         self.write_q = RequestQueue(write_queue_entries, "write", clock=clock,
-                                    sanitize=self._sanitize)
+                                    sanitize=self._sanitize,
+                                    telemetry=telemetry)
         self.eager_q = RequestQueue(eager_queue_entries, "eager", clock=clock,
-                                    sanitize=self._sanitize)
+                                    sanitize=self._sanitize,
+                                    telemetry=telemetry)
         self.drain_low = drain_low
         self.drain_high = drain_high
         if not 0.0 <= cancel_threshold <= 1.0:
@@ -163,6 +211,12 @@ class MemoryController:
         # tracker; the two independently maintained sums must always agree.
         self._wear_write_tally = 0.0
         self._wear_write_baseline = self.wear.total_writes()
+        # Run-local request ids: the module-global counter in queues.py
+        # carries state across simulations in one process, which would
+        # make trace req_ids depend on how many runs preceded this one
+        # (serial sweeps vs fresh parallel workers would emit different
+        # traces for the same config).
+        self._request_ids = itertools.count()
 
     # ------------------------------------------------------------------
     # Submission API (called by the LLC / CPU side)
@@ -174,6 +228,7 @@ class MemoryController:
         return Request(
             kind=kind, block=block, bank=bank, rank=rank, row=row,
             arrival_ns=self.events.now, callback=callback,
+            req_id=next(self._request_ids),
         )
 
     def submit_read(self, block: int,
@@ -184,6 +239,10 @@ class MemoryController:
         request = self._make_request(READ, block, callback)
         self.read_q.push(request)
         self.stats.reads_from_llc += 1
+        if self._ts is not None:
+            self._ts.record(
+                self.events.now, EV_ENQUEUE, bank=request.bank, block=block,
+                req_id=request.req_id, detail=READ)
         self._maybe_cancel_for_read(request.bank)
         self._try_issue_bank(request.bank)
         return True
@@ -196,6 +255,10 @@ class MemoryController:
         request = self._make_request(WRITE, block, callback)
         self.write_q.push(request)
         self.stats.writes_from_llc += 1
+        if self._ts is not None:
+            self._ts.record(
+                self.events.now, EV_ENQUEUE, bank=request.bank, block=block,
+                req_id=request.req_id, detail=WRITE)
         if not self.drain_mode and len(self.write_q) >= self.drain_high:
             self._enter_drain()
         else:
@@ -210,6 +273,10 @@ class MemoryController:
         request = self._make_request(EAGER, block, callback)
         self.eager_q.push(request)
         self.stats.eager_from_llc += 1
+        if self._ts is not None:
+            self._ts.record(
+                self.events.now, EV_ENQUEUE, bank=request.bank, block=block,
+                req_id=request.req_id, detail=EAGER)
         self._try_issue_bank(request.bank)
         return True
 
@@ -239,6 +306,13 @@ class MemoryController:
         self.drain_mode = True
         self._drain_started_ns = self.events.now
         self.stats.drain_events += 1
+        ts = self._ts
+        if ts is not None:
+            ts.drains.value += 1.0
+            ts.drain_active.set(1.0)
+            ts.record(
+                self.events.now, EV_DRAIN_ENTER,
+                detail=f"write_q={len(self.write_q)}")
         for bank in self.banks:
             self._try_issue_bank(bank.index)
 
@@ -246,6 +320,12 @@ class MemoryController:
         if self.drain_mode and len(self.write_q) <= self.drain_low:
             self.drain_mode = False
             self.stats.drain_time_ns += self.events.now - self._drain_started_ns
+            ts = self._ts
+            if ts is not None:
+                ts.drain_active.set(0.0)
+                ts.record(
+                    self.events.now, EV_DRAIN_EXIT,
+                    detail=f"write_q={len(self.write_q)}")
             for bank in self.banks:
                 self._try_issue_bank(bank.index)
 
@@ -283,6 +363,17 @@ class MemoryController:
         else:
             self.stats.cancellations += 1
             op.request.progress_ns = 0.0
+        ts = self._ts
+        if ts is not None:
+            if pausing:
+                ts.pauses.value += 1.0
+            else:
+                ts.cancellations.value += 1.0
+            ts.record(
+                now, EV_PAUSE if pausing else EV_CANCEL,
+                bank=bank.index, block=op.request.block,
+                req_id=op.request.req_id, factor=op.request.speed_factor,
+                detail=f"{op.request.kind} progress={fraction:.3f}")
         victim_queue.push_front(op.request)
         # tiny turnaround penalty before the bank can accept the read
         bank.busy_until = now + self.timing.cancel_penalty_ns
@@ -357,6 +448,13 @@ class MemoryController:
         finish = data_start + self.timing.burst_ns
         request.attempts += 1
         self.stats.reads_issued += 1
+        ts = self._ts
+        if ts is not None:
+            ts.reads_issued.value += 1.0
+            ts.record(
+                now, EV_ISSUE, bank=bank.index, block=request.block,
+                req_id=request.req_id,
+                detail="read" if row_hit else "read miss")
         op = InFlight(
             request=request, start_ns=now, finish_ns=finish,
             pulse_start_ns=finish, cancellable=False,
@@ -380,6 +478,7 @@ class MemoryController:
                 quota_exceeded=(
                     self.quota.is_slow_only(bank.index) if self.quota else False
                 ),
+                telemetry=self.telemetry,
             )
             request.speed_factor = factor
         slow = request.slow
@@ -395,6 +494,19 @@ class MemoryController:
             self.stats.writes_issued_normal += 1
         if request.kind == EAGER:
             self.stats.eager_issued += 1
+        ts = self._ts
+        if ts is not None:
+            if slow:
+                ts.writes_slow.value += 1.0
+                ts.bank_slow[bank.index].value += 1.0
+            else:
+                ts.writes_normal.value += 1.0
+                ts.bank_normal[bank.index].value += 1.0
+            if request.kind == EAGER:
+                ts.eager_issued.value += 1.0
+            ts.record(
+                now, EV_ISSUE, bank=bank.index, block=request.block,
+                req_id=request.req_id, factor=factor, detail=request.kind)
         op = InFlight(
             request=request, start_ns=now, finish_ns=finish,
             pulse_start_ns=pulse_start,
@@ -424,6 +536,12 @@ class MemoryController:
         now = self.events.now
         self.stats.reads_completed += 1
         self.stats.read_latency_sum_ns += now - request.arrival_ns
+        ts = self._ts
+        if ts is not None:
+            ts.read_latency.observe(now - request.arrival_ns)
+            ts.record(
+                now, EV_COMPLETE, bank=bank.index, block=request.block,
+                req_id=request.req_id, detail=READ)
         if request.callback is not None:
             request.callback(now)
         self._try_issue_bank(bank.index)
@@ -446,6 +564,12 @@ class MemoryController:
                 0.0, 1.0 - op.resumed_progress_ns / full_pulse,
             )
         self._record_wear(request, executed_fraction)
+        ts = self._ts
+        if ts is not None:
+            ts.record(
+                self.events.now, EV_COMPLETE, bank=bank.index,
+                block=request.block, req_id=request.req_id,
+                factor=request.speed_factor, detail=request.kind)
         if request.callback is not None:
             request.callback(self.events.now)
         self._try_issue_bank(bank.index)

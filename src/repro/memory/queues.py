@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.lint.sanitize import check, resolve
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 READ = "read"
 WRITE = "write"
@@ -87,7 +88,8 @@ class RequestQueue:
 
     def __init__(self, capacity: int, name: str,
                  clock: Optional[Callable[[], float]] = None,
-                 sanitize: Optional[bool] = None) -> None:
+                 sanitize: Optional[bool] = None,
+                 telemetry: Telemetry = NULL_TELEMETRY) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -98,6 +100,10 @@ class RequestQueue:
         self._occupancy_integral = 0.0
         self._last_change_ns = 0.0
         self._sanitize = resolve(sanitize)
+        # Telemetry keeps a per-epoch high-water mark; the disabled path
+        # costs one boolean check per push.
+        self._track_peak = telemetry.enabled
+        self._epoch_peak = 0
 
     def _check_occupancy(self) -> None:
         per_bank_total = sum(len(dq) for dq in self._per_bank.values())
@@ -150,6 +156,8 @@ class RequestQueue:
         self._integrate()
         self._per_bank.setdefault(request.bank, deque()).append(request)
         self._size += 1
+        if self._track_peak and self._size > self._epoch_peak:
+            self._epoch_peak = self._size
         if self._sanitize:
             self._check_occupancy()
 
@@ -160,6 +168,8 @@ class RequestQueue:
         self._integrate()
         self._per_bank.setdefault(request.bank, deque()).appendleft(request)
         self._size += 1
+        if self._track_peak and self._size > self._epoch_peak:
+            self._epoch_peak = self._size
         if self._sanitize:
             self._check_occupancy()
 
@@ -206,6 +216,16 @@ class RequestQueue:
         if self._sanitize:
             self._check_occupancy()
         return popped
+
+    def epoch_peak_depth(self) -> int:
+        """Peak occupancy since the last call (telemetry epoch probe).
+
+        Restarts the watermark from the *current* occupancy, so a queue
+        that stays full across an epoch boundary still reports full.
+        """
+        peak = self._epoch_peak
+        self._epoch_peak = self._size
+        return peak
 
     def count_bank(self, bank: int) -> int:
         """Number of queued requests targeting ``bank``."""

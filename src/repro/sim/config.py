@@ -5,7 +5,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, replace
-from typing import Any, Tuple, Union
+from typing import Any, Optional, Tuple, Union
 
 from repro import params
 from repro.core.policies import WritePolicy, parse_policy
@@ -66,6 +66,14 @@ class SimConfig:
     # read-only, so sanitized and unsanitized runs produce bit-identical
     # results and share cache entries.
     sanitize: bool = False
+    # Telemetry (repro.telemetry): observe-only like the sanitizer, so
+    # all three fields are excluded from cache_key() and traced runs
+    # share cache entries with untraced ones.  ``telemetry_dir`` is where
+    # the bundle is written at end of run (None = caller handles output,
+    # e.g. the Runner picks <cache_dir>/<digest>.telemetry).
+    telemetry: bool = False
+    telemetry_dir: Optional[str] = None
+    telemetry_trace_capacity: int = 65536
 
     def __post_init__(self) -> None:
         if self.warmup_accesses < 0 or self.measure_accesses < 1:

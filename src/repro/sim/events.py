@@ -11,6 +11,7 @@ import heapq
 from typing import Callable, List, Optional, Tuple
 
 from repro.lint.sanitize import check, resolve
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 Callback = Callable[[], None]
 
@@ -22,13 +23,20 @@ class EventQueue:
     when the argument is left at ``None``) every pop verifies the simulated
     clock is monotone nondecreasing and raises
     :class:`~repro.lint.sanitize.InvariantViolation` otherwise.
+
+    With telemetry enabled the queue keeps an executed-event counter; the
+    counter object is resolved once here so the per-pop cost is a single
+    ``is not None`` check.
     """
 
-    def __init__(self, sanitize: Optional[bool] = None) -> None:
+    def __init__(self, sanitize: Optional[bool] = None,
+                 telemetry: Telemetry = NULL_TELEMETRY) -> None:
         self._heap: List[Tuple[float, int, Callback]] = []
         self._seq = 0
         self.now: float = 0.0
         self._sanitize = resolve(sanitize)
+        self._executed = (telemetry.metrics.counter("events.executed")
+                          if telemetry.enabled else None)
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -64,6 +72,8 @@ class EventQueue:
                 event_time_ns=time_ns, now_ns=self.now, sequence=seq,
             )
         self.now = time_ns
+        if self._executed is not None:
+            self._executed.value += 1.0
         callback()
         return True
 

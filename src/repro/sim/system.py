@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import copy
 import random
+from pathlib import Path
 from typing import TYPE_CHECKING, List, Optional, Union
 
 from repro.cache.llc import LastLevelCache
@@ -28,6 +29,7 @@ from repro.memory.timing import MemoryTiming
 from repro.sim.config import SimConfig
 from repro.sim.events import EventQueue
 from repro.sim.stats import RunResult
+from repro.telemetry import EV_PHASE, NULL_TELEMETRY, Telemetry
 from repro.workloads.profiles import WorkloadProfile, get_profile
 
 if TYPE_CHECKING:
@@ -59,7 +61,21 @@ class System:
         # process-wide by REPRO_SANITIZE=1; either source arms every
         # component of this system.
         self.sanitize = config.sanitize or env_enabled()
-        self.events = EventQueue(sanitize=self.sanitize)
+        # Telemetry is constructed before the event queue; its clock is a
+        # lazy closure over self.events so the order does not matter at
+        # sample time.  Like the sanitizer it is observe-only: it never
+        # draws randomness or schedules events, so traced runs are
+        # bit-identical to untraced ones.
+        self.telemetry: Telemetry = (
+            Telemetry(
+                num_banks=config.num_banks,
+                clock=lambda: self.events.now,
+                trace_capacity=config.telemetry_trace_capacity,
+            )
+            if config.telemetry else NULL_TELEMETRY
+        )
+        self.events = EventQueue(sanitize=self.sanitize,
+                                 telemetry=self.telemetry)
         self.amap = AddressMap(
             num_banks=config.num_banks,
             num_ranks=config.num_ranks,
@@ -82,6 +98,7 @@ class System:
                 target_lifetime_years=config.target_lifetime_years,
                 period_ns=config.sample_period_ns,
                 ratio_quota=config.ratio_quota,
+                telemetry=self.telemetry,
             )
         self.llc = LastLevelCache(
             size_bytes=config.llc_size_bytes,
@@ -90,6 +107,7 @@ class System:
             sample_period_ns=config.sample_period_ns,
             rng=random.Random(config.seed * 7919 + 13),
             eager_selector=config.eager_selector,
+            telemetry=self.telemetry,
         )
         self.flip_n_write: Optional[FlipNWrite] = None
         if config.flip_n_write:
@@ -111,6 +129,7 @@ class System:
             page_policy=config.page_policy,
             read_scheduler=config.read_scheduler,
             sanitize=self.sanitize,
+            telemetry=self.telemetry,
         )
         self.dram_buffer: Optional[DramWriteBuffer] = None
         if config.dram_buffer_entries > 0:
@@ -132,6 +151,35 @@ class System:
         self._measure_end_ns: Optional[float] = None
         self._accesses_at_last_scan = 0
         self._done = False
+        if self.telemetry.enabled:
+            self._register_probes()
+
+    def _register_probes(self) -> None:
+        """Attach the epoch-sampled probes that read existing state.
+
+        Probes run only when a sample is taken (once per 500 us epoch), so
+        none of this adds work to the simulation hot paths.
+        """
+        tel = self.telemetry
+        metrics = tel.metrics
+        ctrl = self.controller
+        metrics.probe("queue.read.depth", lambda: float(len(ctrl.read_q)))
+        metrics.probe("queue.write.depth", lambda: float(len(ctrl.write_q)))
+        metrics.probe("queue.eager.depth", lambda: float(len(ctrl.eager_q)))
+        metrics.probe("queue.read.peak",
+                      lambda: float(ctrl.read_q.epoch_peak_depth()))
+        metrics.probe("queue.write.peak",
+                      lambda: float(ctrl.write_q.epoch_peak_depth()))
+        metrics.probe("queue.eager.peak",
+                      lambda: float(ctrl.eager_q.epoch_peak_depth()))
+        metrics.probe("wear.total_writes",
+                      lambda: float(self.wear.total_writes()))
+        for bank in ctrl.banks:
+            metrics.probe(f"bank.{bank.index:02d}.ops_begun",
+                          lambda b=bank: float(b.ops_begun))
+            metrics.probe(f"bank.{bank.index:02d}.ops_cancelled",
+                          lambda b=bank: float(b.ops_cancelled))
+        tel.set_wear_probe(self.wear.bank_damages)
 
     # ------------------------------------------------------------------
     # DRAM write buffer
@@ -163,6 +211,12 @@ class System:
     def _sample_tick(self) -> None:
         if self._done:
             return
+        # Telemetry closes its epoch BEFORE the profiler counters reset,
+        # so the sampled llc.stack_hits.* probes capture this epoch's own
+        # hit counts.  The quota gauge set by the *previous* start_period
+        # is likewise sampled here, describing the epoch it governed.
+        if self.telemetry.enabled:
+            self.telemetry.sample_epoch(self.events.now)
         self.llc.end_sample_period()
         if self.quota is not None:
             self.quota.start_period()
@@ -196,6 +250,9 @@ class System:
 
     def _end_warmup(self) -> None:
         self._measure_start_ns = self.events.now
+        if self.telemetry.enabled:
+            self.telemetry.tracer.record(
+                self.events.now, EV_PHASE, detail="measure_start")
         self.llc.reset_statistics()
         # Zero the wear tallies before the controller reset so the
         # controller re-anchors its wear-conservation cross-check against
@@ -255,6 +312,9 @@ class System:
         """Simulate warmup + measurement and return the results."""
         self._functional_warmup()
         self.core.start()
+        if self.telemetry.enabled:
+            self.telemetry.tracer.record(
+                self.events.now, EV_PHASE, detail="run_start")
         self.events.schedule_in(self.config.sample_period_ns, self._sample_tick)
         if self.policy.eager:
             self.events.schedule_in(
@@ -273,7 +333,17 @@ class System:
             executed += 1
             if executed > max_events:
                 raise DeadlockError("event budget exhausted; likely livelock")
-        return self._collect()
+        result = self._collect()
+        if self.telemetry.enabled:
+            # Close the final (possibly partial) epoch so the wear time
+            # series covers the whole measurement window, then write the
+            # bundle if a destination was configured.
+            self.telemetry.tracer.record(
+                self.events.now, EV_PHASE, detail="measure_end")
+            self.telemetry.sample_epoch(self.events.now)
+            if self.config.telemetry_dir is not None:
+                self.telemetry.write(Path(self.config.telemetry_dir))
+        return result
 
     # ------------------------------------------------------------------
 

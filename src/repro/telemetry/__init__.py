@@ -1,0 +1,37 @@
+"""Observability for the simulator: metrics, event traces, wear heatmaps.
+
+Zero-overhead when disabled: components hold a :class:`Telemetry`
+reference and guard every instrumentation site with
+``if telemetry.enabled:``; the disabled path is the stateless
+:data:`NULL_TELEMETRY` null object whose ``enabled`` is a class constant
+``False``.  All timestamps are simulated time (simlint SIM008 bans wall
+clocks in this package), and telemetry never influences simulation
+state, so traced runs are bit-identical to untraced ones.
+
+See ``docs/observability.md`` for the metric catalogue, the trace event
+schema, and how to open exports in Perfetto.
+"""
+
+from repro.telemetry.core import (MANIFEST_NAME, NULL_TELEMETRY,
+                                  TELEMETRY_SCHEMA_VERSION, NullTelemetry,
+                                  Telemetry, bundle_is_complete)
+from repro.telemetry.heatmap import WearHeatmap
+from repro.telemetry.metrics import (READ_LATENCY_BUCKETS_NS, Counter, Gauge,
+                                     Histogram, MetricRegistry)
+from repro.telemetry.tracer import (EV_CANCEL, EV_COMPLETE, EV_DRAIN_ENTER,
+                                    EV_DRAIN_EXIT, EV_EAGER_DEMOTE,
+                                    EV_ENQUEUE, EV_ISSUE, EV_PAUSE, EV_PHASE,
+                                    EV_QUOTA_TRIP, EVENT_KINDS, EventTracer,
+                                    TraceEvent, chrome_trace)
+
+__all__ = [
+    "Telemetry", "NullTelemetry", "NULL_TELEMETRY", "bundle_is_complete",
+    "MANIFEST_NAME", "TELEMETRY_SCHEMA_VERSION",
+    "MetricRegistry", "Counter", "Gauge", "Histogram",
+    "READ_LATENCY_BUCKETS_NS",
+    "EventTracer", "TraceEvent", "chrome_trace", "EVENT_KINDS",
+    "EV_ENQUEUE", "EV_ISSUE", "EV_COMPLETE", "EV_CANCEL", "EV_PAUSE",
+    "EV_DRAIN_ENTER", "EV_DRAIN_EXIT", "EV_QUOTA_TRIP", "EV_EAGER_DEMOTE",
+    "EV_PHASE",
+    "WearHeatmap",
+]

@@ -1,0 +1,204 @@
+"""Telemetry facade: the one object the simulator threads everywhere.
+
+Components receive a :class:`Telemetry` instance and guard every
+instrumentation site with ``if tel.enabled:``.  When telemetry is off
+they get the :data:`NULL_TELEMETRY` singleton whose ``enabled`` is the
+class-level constant ``False`` - so the disabled hot path costs exactly
+one attribute load and a branch, nothing else (verified by
+``benchmarks/check_telemetry_overhead.py``).
+
+Crucially, telemetry is *read-only* with respect to the simulation: it
+never draws randomness, never schedules events, and never feeds a value
+back into a decision, so a traced run is bit-identical to an untraced
+one and shares its cache key.
+
+``write()`` lays down the output directory::
+
+    metrics.json        epoch-sampled time series + histograms
+    heatmap.json        per-bank wear matrix (cumulative + deltas)
+    trace.jsonl         raw event records, one JSON object per line
+    trace.chrome.json   Chrome trace_event format (open in Perfetto)
+    manifest.json       index + ring/drop statistics, written last
+
+Each file is written atomically (temp file + ``os.replace``) and the
+manifest goes last, so a directory containing ``manifest.json`` is
+always a complete bundle - the result cache relies on this.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import (Any, Callable, ClassVar, Dict, List, NoReturn, Optional,
+                    Sequence)
+
+from repro.telemetry.heatmap import WearHeatmap
+from repro.telemetry.metrics import MetricRegistry
+from repro.telemetry.tracer import EventTracer, chrome_trace
+
+MANIFEST_NAME = "manifest.json"
+TELEMETRY_SCHEMA_VERSION = 1
+
+Clock = Callable[[], float]
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write via temp file + rename so readers never see a torn file.
+
+    Deliberately self-contained: importing the runner's helper would
+    create a cycle (runner -> sim.system -> telemetry).
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                    prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class Telemetry:
+    """Live telemetry: metric registry + event tracer + wear heatmap.
+
+    ``clock`` is a zero-argument callable returning the current simulated
+    time in ns (typically ``lambda: events.now``); it exists so the
+    facade can stamp epoch samples without holding a reference to the
+    event queue (which is constructed after the telemetry object).
+    """
+
+    enabled: ClassVar[bool] = True
+
+    def __init__(self, num_banks: int, clock: Clock,
+                 trace_capacity: int = 65536) -> None:
+        self.num_banks = num_banks
+        self.clock = clock
+        self.metrics = MetricRegistry()
+        self.tracer = EventTracer(capacity=trace_capacity)
+        self.heatmap = WearHeatmap(num_banks)
+
+    # -- wiring ---------------------------------------------------------
+
+    def set_wear_probe(self, probe: Callable[[], Sequence[float]]) -> None:
+        self.heatmap.set_probe(probe)
+
+    # -- epoch boundary -------------------------------------------------
+
+    def sample_epoch(self, now_ns: Optional[float] = None) -> None:
+        """Close one epoch: sample every metric and snapshot the heatmap.
+
+        Called by ``System`` on the 500 us wear-quota boundary *before*
+        the profiler counters are reset, and once more at end of run for
+        the final partial epoch.
+        """
+        t = self.clock() if now_ns is None else now_ns
+        self.metrics.sample(t)
+        self.heatmap.snapshot(t)
+
+    # -- export ---------------------------------------------------------
+
+    def manifest(self) -> Dict[str, Any]:
+        return {
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
+            "num_banks": self.num_banks,
+            "num_epochs": self.metrics.num_samples,
+            "trace": {
+                "capacity": self.tracer.capacity,
+                "recorded": self.tracer.recorded,
+                "dropped": self.tracer.dropped,
+                "retained": len(self.tracer),
+            },
+            "files": ["metrics.json", "heatmap.json", "trace.jsonl",
+                      "trace.chrome.json"],
+        }
+
+    def write(self, out_dir: Path) -> List[Path]:
+        """Write the full bundle into ``out_dir``; manifest goes last."""
+        out_dir = Path(out_dir)
+        written: List[Path] = []
+
+        metrics_path = out_dir / "metrics.json"
+        _atomic_write_text(metrics_path, json.dumps(
+            self.metrics.to_dict(), indent=2, sort_keys=True))
+        written.append(metrics_path)
+
+        heatmap_path = out_dir / "heatmap.json"
+        _atomic_write_text(heatmap_path, json.dumps(
+            self.heatmap.to_dict(), indent=2, sort_keys=True))
+        written.append(heatmap_path)
+
+        jsonl_path = out_dir / "trace.jsonl"
+        _atomic_write_text(jsonl_path, self.tracer.to_jsonl())
+        written.append(jsonl_path)
+
+        chrome_path = out_dir / "trace.chrome.json"
+        _atomic_write_text(chrome_path, json.dumps(
+            chrome_trace(self.tracer, self.metrics),
+            separators=(",", ":")))
+        written.append(chrome_path)
+
+        manifest_path = out_dir / MANIFEST_NAME
+        _atomic_write_text(manifest_path, json.dumps(
+            self.manifest(), indent=2, sort_keys=True))
+        written.append(manifest_path)
+        return written
+
+
+class NullTelemetry(Telemetry):
+    """Disabled telemetry: same interface, ``enabled`` is ``False``.
+
+    Instrumented components only ever touch ``.enabled`` on this object,
+    so construction cost is irrelevant and no instrument state exists.
+    The methods below raise if something forgets its guard - better a
+    loud failure in tests than silent overhead in production runs.
+    """
+
+    enabled: ClassVar[bool] = False
+
+    def __init__(self) -> None:
+        # No super().__init__(): a null object carries no state.
+        pass
+
+    def _refuse(self, method: str) -> NoReturn:
+        raise RuntimeError(
+            f"NullTelemetry.{method} called - an instrumentation site is "
+            "missing its 'if telemetry.enabled:' guard")
+
+    def __getattr__(self, name: str) -> Any:
+        # Covers .metrics/.tracer/.heatmap/.clock and anything new.
+        # Dunder probes (copy/pickle protocols) must keep the normal
+        # AttributeError contract.
+        if name.startswith("__") and name.endswith("__"):
+            raise AttributeError(name)
+        self._refuse(name)
+
+    def sample_epoch(self, now_ns: Optional[float] = None) -> None:
+        self._refuse("sample_epoch")
+
+    def set_wear_probe(self, probe: Callable[[], Sequence[float]]) -> None:
+        self._refuse("set_wear_probe")
+
+    def write(self, out_dir: Path) -> List[Path]:
+        self._refuse("write")
+        return []  # pragma: no cover - unreachable
+
+
+#: Shared disabled-telemetry singleton; safe because it is stateless.
+NULL_TELEMETRY = NullTelemetry()
+
+
+def bundle_is_complete(out_dir: Path) -> bool:
+    """True if ``out_dir`` holds a finished telemetry bundle.
+
+    The manifest is written last, so its presence implies every other
+    file landed.  Used by the runner to decide whether a cache hit also
+    satisfies a telemetry request.
+    """
+    return (Path(out_dir) / MANIFEST_NAME).is_file()

@@ -1,0 +1,253 @@
+"""Bounded ring-buffer event tracer with JSONL and Chrome trace export.
+
+The tracer records typed, timestamped events from the memory system hot
+paths: request lifecycle (enqueue / issue / complete / cancel), drain
+mode transitions, Wear Quota trips, eager demotions, and phase markers.
+Timestamps are **simulated** nanoseconds - never wall clock (enforced by
+simlint rule SIM008).
+
+The buffer is a ``collections.deque(maxlen=capacity)`` of plain tuples:
+when full, the oldest events are silently evicted and only ``dropped``
+is bumped, so a long run costs O(capacity) memory no matter how many
+events fire.  Tuples (not :class:`TraceEvent` instances) live in the
+ring because ``record()`` runs hundreds of thousands of times per
+simulation and per-event object allocation dominated the enabled-path
+overhead; :class:`TraceEvent` objects are materialised lazily by
+:meth:`EventTracer.events`.
+
+Two export formats:
+
+* :meth:`EventTracer.to_jsonl` - one JSON object per line, the raw record
+  stream for ad-hoc analysis;
+* :func:`chrome_trace` - the Chrome ``trace_event`` JSON-object format
+  (https://ui.perfetto.dev opens it directly).  Issue/complete pairs
+  become duration ("X") slices on a per-bank track, point events become
+  instants ("i"), and sampled metric series become counter ("C") tracks.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
+
+from repro.telemetry.metrics import MetricRegistry
+
+# Event kinds.  Kept as plain string constants (not an Enum) so hot-path
+# record() calls avoid Enum attribute overhead and exports stay readable.
+EV_ENQUEUE = "enqueue"
+EV_ISSUE = "issue"
+EV_COMPLETE = "complete"
+EV_CANCEL = "cancel"
+EV_PAUSE = "pause"
+EV_DRAIN_ENTER = "drain_enter"
+EV_DRAIN_EXIT = "drain_exit"
+EV_QUOTA_TRIP = "quota_trip"
+EV_EAGER_DEMOTE = "eager_demote"
+EV_PHASE = "phase"
+
+EVENT_KINDS: Tuple[str, ...] = (
+    EV_ENQUEUE, EV_ISSUE, EV_COMPLETE, EV_CANCEL, EV_PAUSE,
+    EV_DRAIN_ENTER, EV_DRAIN_EXIT, EV_QUOTA_TRIP, EV_EAGER_DEMOTE,
+    EV_PHASE,
+)
+
+#: Event kinds that open a duration slice in the Chrome export.
+_SLICE_OPENERS = (EV_ISSUE,)
+#: Event kinds that close the slice opened by the matching issue.
+_SLICE_CLOSERS = (EV_COMPLETE, EV_CANCEL)
+
+#: The ring's internal record layout (field order of :class:`TraceEvent`).
+_Record = Tuple[float, str, int, int, int, float, str]
+
+
+@dataclass
+class TraceEvent:
+    """One typed trace record with a simulated-time stamp.
+
+    ``t_ns``
+        Simulated time of the event, nanoseconds.
+    ``kind``
+        One of the ``EV_*`` constants.
+    ``bank`` / ``block`` / ``req_id``
+        Identify where and which request; ``-1`` when not applicable.
+    ``factor``
+        Write slowdown factor in effect (1.0 = fast), 0.0 for reads and
+        non-issue events.
+    ``detail``
+        Free-form short annotation ("read", "write", "eager", reason
+        strings, phase names).
+    """
+
+    t_ns: float
+    kind: str
+    bank: int = -1
+    block: int = -1
+    req_id: int = -1
+    factor: float = 0.0
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "t_ns": self.t_ns,
+            "kind": self.kind,
+            "bank": self.bank,
+            "block": self.block,
+            "req_id": self.req_id,
+            "factor": self.factor,
+            "detail": self.detail,
+        }
+
+
+class EventTracer:
+    """Fixed-capacity ring buffer of trace records."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"tracer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: Deque[_Record] = deque(maxlen=capacity)
+        self.recorded = 0  # total ever recorded, including evicted
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring (derived, not tracked per call)."""
+        return self.recorded - len(self._ring)
+
+    def record(self, t_ns: float, kind: str, bank: int = -1,
+               block: int = -1, req_id: int = -1, factor: float = 0.0,
+               detail: str = "") -> None:
+        # The deque's maxlen does the eviction; nothing else to maintain.
+        self.recorded += 1
+        self._ring.append((t_ns, kind, bank, block, req_id, factor, detail))
+
+    def events(self) -> List[TraceEvent]:
+        """Current ring contents as :class:`TraceEvent`, oldest first."""
+        return [TraceEvent(*record) for record in self._ring]
+
+    def raw(self) -> List[_Record]:
+        """Current ring contents as bare tuples, oldest first."""
+        return list(self._ring)
+
+    def to_jsonl(self) -> str:
+        """One compact JSON object per event, newline separated.
+
+        ``kind`` and ``detail`` encodings are memoised: both are
+        low-cardinality strings, and running ``json.dumps`` per record
+        was the bulk of export time at full ring capacity.
+        """
+        encoded: Dict[str, str] = {}
+
+        def enc(text: str) -> str:
+            cached = encoded.get(text)
+            if cached is None:
+                cached = encoded[text] = json.dumps(text)
+            return cached
+
+        lines = [
+            f'{{"t_ns":{t_ns},"kind":{enc(kind)},"bank":{bank},'
+            f'"block":{block},"req_id":{req_id},"factor":{factor},'
+            f'"detail":{enc(detail)}}}'
+            for t_ns, kind, bank, block, req_id, factor, detail in self._ring
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def iter_dicts(self) -> Iterator[Dict[str, Any]]:
+        for record in self._ring:
+            yield TraceEvent(*record).to_dict()
+
+
+def _counter_track_name(series_name: str) -> bool:
+    """Series worth a Perfetto counter track (per-sample, low fan-out)."""
+    return not series_name.startswith("hist.")
+
+
+def chrome_trace(tracer: EventTracer,
+                 metrics: Optional[MetricRegistry] = None,
+                 process_name: str = "repro-sim") -> Dict[str, Any]:
+    """Build a Chrome ``trace_event`` JSON object from a tracer (and
+    optionally a sampled registry, emitted as counter tracks).
+
+    Layout: one fake process, one thread ("track") per bank plus track 0
+    for bank-less events.  Timestamps are microseconds as the format
+    requires; simulated ns divide by 1e3 exactly, no host clock involved.
+    """
+    records = tracer.raw()
+    trace_events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+        "args": {"name": process_name},
+    }]
+
+    banks = sorted({record[2] for record in records if record[2] >= 0})
+    for bank in banks:
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": bank + 1,
+            "args": {"name": f"bank {bank}"},
+        })
+    trace_events.append({
+        "name": "thread_name", "ph": "M", "pid": 1, "tid": 0,
+        "args": {"name": "system"},
+    })
+
+    # Pair issue -> complete/cancel per (bank, req_id) into "X" slices.
+    open_issues: Dict[Tuple[int, int], _Record] = {}
+    for record in records:
+        t_ns, kind, bank, block, req_id, factor, detail = record
+        tid = bank + 1 if bank >= 0 else 0
+        if kind in _SLICE_OPENERS:
+            open_issues[(bank, req_id)] = record
+            continue
+        if kind in _SLICE_CLOSERS:
+            opener = open_issues.pop((bank, req_id), None)
+            if opener is not None:
+                open_t, _, _, open_block, _, open_factor, open_detail = opener
+                name = open_detail or "op"
+                if open_factor > 1.0:
+                    name = f"{name} x{open_factor:g}"
+                if kind == EV_CANCEL:
+                    name = f"{name} (cancelled)"
+                trace_events.append({
+                    "name": name, "ph": "X", "pid": 1, "tid": tid,
+                    "ts": open_t / 1e3,
+                    "dur": (t_ns - open_t) / 1e3,
+                    "args": {"block": open_block, "req_id": req_id,
+                             "factor": open_factor,
+                             "outcome": kind},
+                })
+                continue
+            # Closer whose opener was evicted from the ring: keep it as
+            # an instant so the record is not lost entirely.
+        trace_events.append({
+            "name": f"{kind}{(' ' + detail) if detail else ''}",
+            "ph": "i", "pid": 1, "tid": tid, "ts": t_ns / 1e3, "s": "t",
+            "args": {"block": block, "req_id": req_id, "factor": factor},
+        })
+
+    # Issues still open at the end of the ring: emit as instants.
+    for opener in open_issues.values():
+        t_ns, _, bank, block, req_id, factor, detail = opener
+        tid = bank + 1 if bank >= 0 else 0
+        trace_events.append({
+            "name": f"issue {detail}".rstrip(),
+            "ph": "i", "pid": 1, "tid": tid, "ts": t_ns / 1e3,
+            "s": "t",
+            "args": {"block": block, "req_id": req_id, "factor": factor},
+        })
+
+    if metrics is not None:
+        for name, column in sorted(metrics.series.items()):
+            if not _counter_track_name(name):
+                continue
+            for t_ns, value in zip(metrics.sample_times_ns, column):
+                if value is None:
+                    continue
+                trace_events.append({
+                    "name": name, "ph": "C", "pid": 1, "tid": 0,
+                    "ts": t_ns / 1e3, "args": {"value": value},
+                })
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ns"}

@@ -124,3 +124,67 @@ def test_sweep_accepts_mixes(capsys):
     ])
     assert code == 0
     assert "mix_light_heavy" in capsys.readouterr().out
+
+
+def test_run_with_telemetry_and_output(tmp_path, capsys):
+    out = tmp_path / "run.json"
+    code = main([
+        "run", "--workload", "hmmer", "--policy", "BE-Mellow+SC",
+        "--scale", "0.05", "--telemetry", "--output", str(out),
+    ])
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "telemetry bundle:" in stdout
+    import json
+    document = json.loads(out.read_text())
+    assert set(document) == {"result", "telemetry"}
+    assert document["telemetry"]["metrics"]["sample_times_ns"]
+    assert document["result"]["wear_records"][0]["bank"] == 0
+
+
+def test_trace_command(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    code = main([
+        "trace", "--workload", "hmmer", "--policy", "BE-Mellow+SC",
+        "--scale", "0.05", "--output", str(out),
+    ])
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "events retained" in stdout
+    assert "epochs sampled" in stdout
+    assert "ui.perfetto.dev" in stdout
+    import json
+    doc = json.loads(out.read_text())
+    assert doc["traceEvents"]
+
+
+def test_metrics_command(capsys):
+    code = main([
+        "metrics", "--workload", "hmmer", "--policy", "Norm",
+        "--scale", "0.05",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Telemetry metrics" in out
+    assert "queue.write.depth" in out
+    assert "ctrl.writes_normal" in out
+
+
+def test_metrics_match_filter(capsys):
+    code = main([
+        "metrics", "--workload", "hmmer", "--policy", "Norm",
+        "--scale", "0.05", "--match", "queue.",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "queue.read.depth" in out
+    assert "ctrl.reads_issued" not in out
+
+
+def test_metrics_match_without_hit_fails(capsys):
+    code = main([
+        "metrics", "--workload", "hmmer", "--policy", "Norm",
+        "--scale", "0.05", "--match", "nosuchseries",
+    ])
+    assert code == 1
+    assert "no series matching" in capsys.readouterr().err

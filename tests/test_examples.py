@@ -23,7 +23,7 @@ def test_every_example_is_tested():
     covered = {
         "quickstart.py", "policy_comparison.py", "lifetime_guarantee.py",
         "endurance_tradeoff.py", "custom_workload.py",
-        "wear_limiting_zoo.py",
+        "wear_limiting_zoo.py", "trace_a_run.py",
     }
     assert set(ALL_EXAMPLES) == covered
 
@@ -59,3 +59,12 @@ def test_lifetime_guarantee_runs():
     proc = run_example("lifetime_guarantee.py", "gups")
     assert proc.returncode == 0, proc.stderr
     assert "Norm baseline" in proc.stdout
+
+
+def test_trace_a_run_runs(tmp_path):
+    proc = run_example("trace_a_run.py", "hmmer", str(tmp_path / "bundle"))
+    assert proc.returncode == 0, proc.stderr
+    assert "bit-identical to untraced run: True" in proc.stdout
+    assert "wear heatmap" in proc.stdout
+    assert "ui.perfetto.dev" in proc.stdout
+    assert (tmp_path / "bundle" / "manifest.json").is_file()

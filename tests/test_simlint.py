@@ -223,6 +223,47 @@ def test_unit_inference_rules():
 
 
 # --------------------------------------------------------------------------
+# SIM008 telemetry-wall-clock (path-scoped)
+# --------------------------------------------------------------------------
+
+TELEMETRY_PATH = "src/repro/telemetry/core.py"
+
+@pytest.mark.parametrize("src", [
+    "import time\n",
+    "import datetime\n",
+    "import time as _t\n",
+    "from time import monotonic\n",
+    "from datetime import datetime\n",
+])
+def test_sim008_flags_wall_clock_imports_in_telemetry(src):
+    assert "SIM008" in rule_ids(src, path=TELEMETRY_PATH)
+
+def test_sim008_flags_dotted_clock_calls_in_telemetry():
+    # time.sleep is not a clock *read* (SIM003 ignores it) but the whole
+    # module is banned inside the telemetry package.
+    src = "import time\nt = time.sleep(0.1)\n"
+    ids = rule_ids(src, path=TELEMETRY_PATH)
+    assert ids.count("SIM008") == 2      # the import and the call
+
+def test_sim008_is_path_scoped():
+    src = "import time\n"
+    assert rule_ids(src, path="src/repro/sim/system.py") == []
+    assert rule_ids(src, path="src\\repro\\telemetry\\win.py") == ["SIM008"]
+
+def test_sim008_negative_simulated_clock_helpers():
+    clean = (
+        "def sample_epoch(self, now_ns=None):\n"
+        "    t = self.clock() if now_ns is None else now_ns\n"
+        "    return t\n"
+    )
+    assert rule_ids(clean, path=TELEMETRY_PATH) == []
+
+def test_sim008_suppression():
+    src = "import time   # simlint: ignore[SIM008] -- doc example only\n"
+    assert rule_ids(src, path=TELEMETRY_PATH) == []
+
+
+# --------------------------------------------------------------------------
 # Suppression syntax details
 # --------------------------------------------------------------------------
 

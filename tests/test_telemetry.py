@@ -1,0 +1,371 @@
+"""Telemetry subsystem: primitives, bit-identity, bundles, sweeps.
+
+The headline invariant is reproducibility: telemetry observes the
+simulation but never perturbs it, so a traced run returns a RunResult
+equal to the untraced run of the same config and shares its cache key.
+Everything else (ring capacity, Chrome export validity, serial/parallel
+bundle equality) protects the observability outputs themselves.
+"""
+
+import copy
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.runner import Runner, cache_clear, cache_stats
+from repro.sim.config import SimConfig
+from repro.sim.system import run_simulation
+from repro.telemetry import (
+    EV_CANCEL,
+    EV_COMPLETE,
+    EV_ISSUE,
+    EV_QUOTA_TRIP,
+    EVENT_KINDS,
+    NULL_TELEMETRY,
+    EventTracer,
+    MetricRegistry,
+    NullTelemetry,
+    Telemetry,
+    WearHeatmap,
+    bundle_is_complete,
+    chrome_trace,
+)
+
+TINY = dict(warmup_accesses=2000, measure_accesses=3000,
+            llc_size_bytes=128 * 1024)
+
+BUNDLE_FILES = ("metrics.json", "heatmap.json", "trace.jsonl",
+                "trace.chrome.json", "manifest.json")
+
+
+def tiny_config(**kwargs):
+    merged = dict(TINY)
+    merged.update(kwargs)
+    return SimConfig(workload=merged.pop("workload", "GemsFDTD"), **merged)
+
+
+# --------------------------------------------------------------------------
+# Metric registry
+# --------------------------------------------------------------------------
+
+class TestMetrics:
+    def test_counter_gauge_probe_sampling(self):
+        reg = MetricRegistry()
+        writes = reg.counter("writes")
+        gated = reg.gauge("gated")
+        depth = [3]
+        reg.probe("depth", lambda: depth[0])
+
+        writes.inc()
+        writes.inc(2.0)
+        gated.set(5.0)
+        reg.sample(500_000.0)
+        depth[0] = 7
+        reg.sample(1_000_000.0)
+
+        dump = reg.to_dict()
+        assert dump["sample_times_ns"] == [500_000.0, 1_000_000.0]
+        assert dump["series"]["writes"] == [3.0, 3.0]
+        assert dump["series"]["gated"] == [5.0, 5.0]
+        assert dump["series"]["depth"] == [3.0, 7.0]
+
+    def test_instruments_are_get_or_create(self):
+        reg = MetricRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("y") is reg.gauge("y")
+
+    def test_name_kind_collision_raises(self):
+        reg = MetricRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already used"):
+            reg.gauge("x")
+
+    def test_late_instrument_is_backfilled_with_none(self):
+        reg = MetricRegistry()
+        reg.counter("early")
+        reg.sample(1.0)
+        late = reg.counter("late")
+        late.inc()
+        reg.sample(2.0)
+        dump = reg.to_dict()
+        assert dump["series"]["early"] == [0.0, 0.0]
+        assert dump["series"]["late"] == [None, 1.0]
+
+    def test_histogram_buckets_and_overflow(self):
+        reg = MetricRegistry()
+        hist = reg.histogram("lat", bounds=(10.0, 100.0))
+        for value in (5.0, 10.0, 50.0, 1000.0):
+            hist.observe(value)
+        assert hist.counts == [2, 1, 1]   # <=10, <=100, overflow
+        assert hist.total == 4
+        assert reg.to_dict()["histograms"]["lat"]["bounds"] == [10.0, 100.0]
+
+    def test_histogram_rejects_bad_bounds(self):
+        reg = MetricRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("empty", bounds=())
+        with pytest.raises(ValueError):
+            reg.histogram("unsorted", bounds=(5.0, 1.0))
+
+
+# --------------------------------------------------------------------------
+# Event tracer ring buffer
+# --------------------------------------------------------------------------
+
+class TestTracer:
+    def test_ring_honors_capacity_and_counts_drops(self):
+        tracer = EventTracer(capacity=4)
+        for i in range(10):
+            tracer.record(float(i), EV_ISSUE, bank=0, req_id=i)
+        assert len(tracer) == 4
+        assert tracer.recorded == 10
+        assert tracer.dropped == 6
+        # Oldest evicted: the ring holds exactly the last four records.
+        assert [ev.req_id for ev in tracer.events()] == [6, 7, 8, 9]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventTracer(capacity=0)
+
+    def test_jsonl_roundtrip(self):
+        tracer = EventTracer(capacity=8)
+        tracer.record(100.0, EV_ISSUE, bank=2, block=7, req_id=1,
+                      factor=3.0, detail="write")
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record == {"t_ns": 100.0, "kind": EV_ISSUE, "bank": 2,
+                          "block": 7, "req_id": 1, "factor": 3.0,
+                          "detail": "write"}
+
+    def test_empty_tracer_exports_empty_jsonl(self):
+        assert EventTracer(capacity=4).to_jsonl() == ""
+
+
+class TestChromeTrace:
+    def test_issue_complete_pairs_become_slices(self):
+        tracer = EventTracer(capacity=16)
+        tracer.record(100.0, EV_ISSUE, bank=1, req_id=5, factor=3.0,
+                      detail="write")
+        tracer.record(400.0, EV_COMPLETE, bank=1, req_id=5, factor=3.0)
+        doc = chrome_trace(tracer)
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 1
+        slab = slices[0]
+        assert slab["name"] == "write x3"
+        assert slab["ts"] == pytest.approx(0.1)    # 100 ns -> 0.1 us
+        assert slab["dur"] == pytest.approx(0.3)
+        assert slab["tid"] == 2                    # bank 1 -> track 2
+
+    def test_cancel_closes_slice_with_annotation(self):
+        tracer = EventTracer(capacity=16)
+        tracer.record(0.0, EV_ISSUE, bank=0, req_id=1, detail="write")
+        tracer.record(50.0, EV_CANCEL, bank=0, req_id=1)
+        doc = chrome_trace(tracer)
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert slices[0]["name"].endswith("(cancelled)")
+        assert slices[0]["args"]["outcome"] == EV_CANCEL
+
+    def test_orphan_closer_becomes_instant(self):
+        tracer = EventTracer(capacity=16)
+        tracer.record(10.0, EV_COMPLETE, bank=0, req_id=9)
+        doc = chrome_trace(tracer)
+        assert [e["ph"] for e in doc["traceEvents"] if e["ph"] == "X"] == []
+        assert any(e["ph"] == "i" for e in doc["traceEvents"])
+
+    def test_metric_series_become_counter_tracks(self):
+        tracer = EventTracer(capacity=4)
+        reg = MetricRegistry()
+        reg.counter("writes").inc(4.0)
+        reg.sample(500_000.0)
+        doc = chrome_trace(tracer, reg)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters == [{"name": "writes", "ph": "C", "pid": 1,
+                             "tid": 0, "ts": 500.0,
+                             "args": {"value": 4.0}}]
+
+    def test_document_is_json_serialisable(self):
+        tracer = EventTracer(capacity=4)
+        tracer.record(0.0, EV_QUOTA_TRIP, bank=3, detail="exceed=1.2")
+        text = json.dumps(chrome_trace(tracer))
+        doc = json.loads(text)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert {e["ph"] for e in doc["traceEvents"]} <= {"M", "i", "X", "C"}
+
+
+# --------------------------------------------------------------------------
+# Wear heatmap
+# --------------------------------------------------------------------------
+
+class TestHeatmap:
+    def test_snapshots_and_deltas(self):
+        heatmap = WearHeatmap(num_banks=2)
+        wear = [0.0, 0.0]
+        heatmap.set_probe(lambda: wear)
+        wear[:] = [1.0, 2.0]
+        heatmap.snapshot(500.0)
+        wear[:] = [1.5, 4.0]
+        heatmap.snapshot(1000.0)
+        dump = heatmap.to_dict()
+        assert heatmap.num_epochs == 2
+        assert dump["cumulative"] == [[1.0, 2.0], [1.5, 4.0]]
+        assert dump["deltas"] == [[1.0, 2.0], [0.5, 2.0]]
+        assert dump["epoch_times_ns"] == [500.0, 1000.0]
+
+    def test_snapshot_without_probe_is_noop(self):
+        heatmap = WearHeatmap(num_banks=2)
+        heatmap.snapshot(1.0)
+        assert heatmap.num_epochs == 0
+
+    def test_probe_row_length_is_validated(self):
+        heatmap = WearHeatmap(num_banks=4)
+        heatmap.set_probe(lambda: [1.0, 2.0])
+        with pytest.raises(ValueError, match="2 values for 4 banks"):
+            heatmap.snapshot(1.0)
+
+
+# --------------------------------------------------------------------------
+# Null telemetry
+# --------------------------------------------------------------------------
+
+class TestNullTelemetry:
+    def test_enabled_flags(self):
+        assert Telemetry(1, lambda: 0.0).enabled is True
+        assert NULL_TELEMETRY.enabled is False
+        assert NullTelemetry.enabled is False
+
+    def test_unguarded_use_raises_loudly(self):
+        with pytest.raises(RuntimeError, match="missing its"):
+            NULL_TELEMETRY.metrics
+        with pytest.raises(RuntimeError, match="sample_epoch"):
+            NULL_TELEMETRY.sample_epoch()
+
+    def test_null_is_copyable(self):
+        # Dunder probes must keep the AttributeError contract or
+        # copy/pickle protocols break on components holding the null.
+        assert copy.deepcopy(NULL_TELEMETRY).enabled is False
+
+
+# --------------------------------------------------------------------------
+# Whole-simulator integration
+# --------------------------------------------------------------------------
+
+class TestBitIdentity:
+    def test_traced_run_matches_untraced(self, tmp_path):
+        config = tiny_config(policy="BE-Mellow+SC")
+        plain = run_simulation(config)
+        traced = run_simulation(replace(
+            config, telemetry=True, telemetry_dir=str(tmp_path / "bundle")))
+        assert traced == plain
+
+    def test_tiny_ring_does_not_perturb_results(self, tmp_path):
+        config = tiny_config(policy="Slow")
+        plain = run_simulation(config)
+        traced = run_simulation(replace(
+            config, telemetry=True, telemetry_dir=str(tmp_path / "b"),
+            telemetry_trace_capacity=64))
+        assert traced == plain
+        manifest = json.loads((tmp_path / "b" / "manifest.json").read_text())
+        assert manifest["trace"]["retained"] == 64
+        assert manifest["trace"]["dropped"] > 0
+
+    def test_telemetry_fields_do_not_change_cache_key(self, tmp_path):
+        config = tiny_config()
+        traced = replace(config, telemetry=True,
+                         telemetry_dir=str(tmp_path),
+                         telemetry_trace_capacity=128)
+        assert traced.cache_key() == config.cache_key()
+        assert traced.cache_digest() == config.cache_digest()
+
+
+class TestBundleOnDisk:
+    def test_run_traced_writes_complete_bundle(self, tmp_path):
+        runner = Runner(cache_dir=tmp_path)
+        config = tiny_config(policy="BE-Mellow+SC+WQ")
+        result, bundle = runner.run_traced(config)
+        assert bundle_is_complete(bundle)
+        for name in BUNDLE_FILES:
+            assert (bundle / name).is_file(), name
+        assert result == run_simulation(config)
+
+    def test_heatmap_covers_every_sampled_epoch(self, tmp_path):
+        _, bundle = Runner(cache_dir=tmp_path).run_traced(
+            tiny_config(policy="BE-Mellow+SC+WQ"))
+        metrics = json.loads((bundle / "metrics.json").read_text())
+        heatmap = json.loads((bundle / "heatmap.json").read_text())
+        num_epochs = len(metrics["sample_times_ns"])
+        assert num_epochs >= 1
+        assert heatmap["epoch_times_ns"] == metrics["sample_times_ns"]
+        assert len(heatmap["cumulative"]) == num_epochs
+        for row in heatmap["cumulative"]:
+            assert len(row) == heatmap["num_banks"]
+
+    def test_trace_events_are_typed_and_time_ordered(self, tmp_path):
+        _, bundle = Runner(cache_dir=tmp_path).run_traced(tiny_config())
+        events = [json.loads(line) for line in
+                  (bundle / "trace.jsonl").read_text().splitlines()]
+        assert events
+        assert all(ev["kind"] in EVENT_KINDS for ev in events)
+        times = [ev["t_ns"] for ev in events]
+        assert times == sorted(times)
+
+    def test_chrome_export_is_valid_json(self, tmp_path):
+        _, bundle = Runner(cache_dir=tmp_path).run_traced(tiny_config())
+        doc = json.loads((bundle / "trace.chrome.json").read_text())
+        assert doc["displayTimeUnit"] == "ns"
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in phases          # paired issue/complete slices
+        assert "M" in phases          # process/thread names
+        assert phases <= {"M", "i", "X", "C"}
+
+    def test_incomplete_bundle_triggers_resimulation(self, tmp_path):
+        config = tiny_config()
+        first, bundle = Runner(cache_dir=tmp_path).run_traced(config)
+        (bundle / "manifest.json").unlink()
+        assert not bundle_is_complete(bundle)
+        second, bundle_again = Runner(cache_dir=tmp_path).run_traced(config)
+        assert bundle_again == bundle
+        assert bundle_is_complete(bundle)
+        assert second == first
+
+    def test_cache_stats_and_clear_cover_bundles(self, tmp_path):
+        runner = Runner(cache_dir=tmp_path)
+        runner.run_traced(tiny_config())
+        assert cache_stats(tmp_path)["telemetry_bundles"] == 1
+        removed = cache_clear(tmp_path)
+        assert removed == 2           # one entry + one bundle
+        assert cache_stats(tmp_path)["telemetry_bundles"] == 0
+
+
+class TestSweepTelemetry:
+    def grid(self):
+        return [tiny_config(workload=w, policy=p, telemetry=True)
+                for w in ("GemsFDTD", "lbm") for p in ("Norm", "Slow")]
+
+    def test_serial_and_parallel_sweeps_emit_identical_bundles(
+            self, tmp_path):
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        serial = Runner(cache_dir=serial_dir).sweep(self.grid(), jobs=1)
+        parallel = Runner(cache_dir=parallel_dir).sweep(self.grid(), jobs=4)
+        assert serial == parallel
+        serial_bundles = sorted(serial_dir.glob("*.telemetry"))
+        parallel_bundles = sorted(parallel_dir.glob("*.telemetry"))
+        assert len(serial_bundles) == len(self.grid())
+        assert [b.name for b in serial_bundles] == \
+               [b.name for b in parallel_bundles]
+        for left, right in zip(serial_bundles, parallel_bundles):
+            for name in BUNDLE_FILES:
+                assert (left / name).read_bytes() == \
+                       (right / name).read_bytes(), f"{left.name}/{name}"
+
+    def test_sweep_reuses_complete_bundles(self, tmp_path):
+        grid = self.grid()
+        Runner(cache_dir=tmp_path).sweep(grid, jobs=1)
+        mtimes = {p: p.stat().st_mtime_ns
+                  for p in tmp_path.glob("*.telemetry/manifest.json")}
+        assert len(mtimes) == len(grid)
+        Runner(cache_dir=tmp_path).sweep(grid, jobs=1)
+        assert {p: p.stat().st_mtime_ns
+                for p in tmp_path.glob("*.telemetry/manifest.json")} == mtimes
