@@ -6,7 +6,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: check lint simlint typecheck test sanitize bench-sanitizer \
-	trace-demo bench-telemetry
+	trace-demo bench-telemetry bench-hotpath
 
 check: lint simlint typecheck test
 	@echo "check: all gates passed"
@@ -43,3 +43,8 @@ trace-demo:
 # Telemetry overhead + bit-identity gate (same check CI runs).
 bench-telemetry:
 	$(PYTHON) benchmarks/check_telemetry_overhead.py
+
+# Hot-path speedup + bit-identity gate (same check CI's perf job runs);
+# leaves BENCH_hotpath.json behind.
+bench-hotpath:
+	$(PYTHON) benchmarks/check_hotpath_speedup.py

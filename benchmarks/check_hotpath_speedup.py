@@ -1,0 +1,125 @@
+"""Hot-path speedup gate: fast mode must beat the reference path.
+
+Runs a matrix of configs twice each - with the hot path engaged (the
+default) and with ``REPRO_NO_FASTPATH=1`` selecting the readable
+reference implementations - and verifies both properties the hot path
+promises:
+
+* **Bit-identity**: every config's :class:`RunResult` must compare equal
+  between the two modes.  The reference path is the oracle; a divergence
+  is a correctness bug regardless of speed.
+* **Speedup**: on the *gated* configs (hit-heavy workloads, where the
+  LLC-hit fast path and the analytic core clock dominate) the wall-clock
+  ratio reference/fast must reach ``REPRO_HOTPATH_MIN_RATIO`` (default
+  2.0).  Miss-heavy configs are measured and reported but not gated -
+  their runtime is controller/event-loop bound, and the slimming there
+  is worth ~1.2-1.6x, not 2x.
+
+Methodology: the two modes are interleaved round-robin (mode A, mode B,
+mode A, ...) so slow machine phases hit both sides; each side is scored
+by its **best** round, since timing noise is strictly additive, and the
+ratio of the two minima is the most robust estimate of the true ratio.
+
+Writes a machine-readable report to ``BENCH_hotpath.json`` (override
+with ``--output``).  Exit status 0 iff every gated config passes and
+every config is bit-identical.
+
+    PYTHONPATH=src python benchmarks/check_hotpath_speedup.py
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Tuple
+
+from repro.hotpath import FASTPATH_ENV
+from repro.sim.config import SimConfig
+from repro.sim.system import RunResult, run_simulation
+
+ROUNDS = 3
+
+# (workload, policy, scale, gated).  The gate matrix is hit-heavy hmmer
+# across two policies; the rest document where the event-loop floor is.
+MATRIX: List[Tuple[str, str, float, bool]] = [
+    ("hmmer", "Norm", 0.2, True),
+    ("hmmer", "BE-Mellow+SC", 0.2, True),
+    ("gups", "Norm", 0.2, False),
+    ("lbm", "Norm", 0.1, False),
+    ("stream", "Norm", 0.2, False),
+]
+
+
+def timed_run(config: SimConfig, fastpath: bool) -> Tuple[float, RunResult]:
+    """One simulation with the hot path toggled via the env switch."""
+    if fastpath:
+        os.environ.pop(FASTPATH_ENV, None)
+    else:
+        os.environ[FASTPATH_ENV] = "1"
+    try:
+        start = time.perf_counter()   # simlint: ignore[SIM003] -- measuring host runtime is the point
+        result = run_simulation(config)
+        return (time.perf_counter() - start, result)   # simlint: ignore[SIM003] -- measuring host runtime is the point
+    finally:
+        os.environ.pop(FASTPATH_ENV, None)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_hotpath.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--rounds", type=int, default=ROUNDS,
+                        help="interleaved timing rounds per config")
+    args = parser.parse_args()
+    min_ratio = float(os.environ.get("REPRO_HOTPATH_MIN_RATIO", "2.0"))
+
+    rows: List[Dict[str, object]] = []
+    failed = False
+    for workload, policy, scale, gated in MATRIX:
+        config = SimConfig(workload=workload, policy=policy,
+                           seed=3).scaled(scale)
+        best = {"fast": float("inf"), "ref": float("inf")}
+        results: Dict[str, RunResult] = {}
+        for _ in range(args.rounds):
+            for mode, fastpath in (("fast", True), ("ref", False)):
+                elapsed, results[mode] = timed_run(config, fastpath)
+                best[mode] = min(best[mode], elapsed)
+        identical = results["fast"] == results["ref"]
+        ratio = best["ref"] / best["fast"]
+        ok = identical and (not gated or ratio >= min_ratio)
+        failed = failed or not ok
+        rows.append({
+            "workload": workload, "policy": policy, "scale": scale,
+            "fast_s": round(best["fast"], 4), "ref_s": round(best["ref"], 4),
+            "ratio": round(ratio, 3), "gated": gated,
+            "identical": identical, "pass": ok,
+        })
+        gate = f"gate>={min_ratio:.1f}" if gated else "report-only"
+        verdict = "ok" if ok else ("DIVERGED" if not identical else "TOO SLOW")
+        print(f"{workload:8s} {policy:14s} fast={best['fast']:.2f}s "
+              f"ref={best['ref']:.2f}s ratio={ratio:.2f} [{gate}] {verdict}")
+
+    report = {
+        "min_ratio": min_ratio,
+        "rounds": args.rounds,
+        "configs": rows,
+        "pass": not failed,
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"report written to {args.output}")
+
+    if failed:
+        print("FAIL: hot-path gate violated (see rows above)",
+              file=sys.stderr)
+        return 1
+    print(f"OK: all gated configs >= {min_ratio:.1f}x and every config "
+          "bit-identical to the reference path")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

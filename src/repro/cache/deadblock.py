@@ -72,9 +72,13 @@ class DeadBlockPredictor:
         return min(threshold, self.horizon)
 
     def end_sample_period(self) -> float:
-        """Publish a fresh threshold and restart the histogram."""
+        """Publish a fresh threshold and restart the histogram.
+
+        The histogram is zeroed in place, never replaced: the hot-path LLC
+        access caches a reference to it once at construction.
+        """
         self.age_threshold = self.compute_threshold()
-        self.buckets = [0] * (self.MAX_BUCKET + 1)
+        self.buckets[:] = [0] * (self.MAX_BUCKET + 1)
         self.total_reuses = 0
         self.samples_taken += 1
         return self.age_threshold

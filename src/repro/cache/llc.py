@@ -14,13 +14,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, Optional, Tuple
 
 from repro import params
 from repro.cache.deadblock import DeadBlockPredictor
 from repro.cache.lru import AccessResult, CacheLine, LRUCache
 from repro.cache.profiler import StackProfiler
 from repro.telemetry import EV_EAGER_DEMOTE, NULL_TELEMETRY, Telemetry
+
+if TYPE_CHECKING:
+    from repro.cpu.trace import TraceRecord
 
 STACK_SELECTOR = "stack"
 DEADBLOCK_SELECTOR = "deadblock"
@@ -56,17 +59,25 @@ class LastLevelCache:
         rng: Optional[random.Random] = None,
         eager_selector: str = STACK_SELECTOR,
         telemetry: Telemetry = NULL_TELEMETRY,
+        fastpath: bool = False,
     ) -> None:
         if eager_selector not in (STACK_SELECTOR, DEADBLOCK_SELECTOR):
             raise ValueError(f"unknown eager selector {eager_selector!r}")
-        self.cache = LRUCache.from_geometry(size_bytes, assoc, line_bytes)
+        self.cache = LRUCache.from_geometry(size_bytes, assoc, line_bytes,
+                                            fastpath=fastpath)
         self.profiler = StackProfiler(
             assoc, threshold_ratio, sample_period_ns,
         )
+        if fastpath:
+            self.access = self._access_fast  # type: ignore[method-assign]
         self.eager_selector = eager_selector
         self.deadblock = DeadBlockPredictor(
             tail_ratio=threshold_ratio, horizon=float(assoc),
         )
+        # Stable references for the hot paths: both lists are zeroed in
+        # place by end_sample_period(), never replaced.
+        self._hit_counters = self.profiler.hit_counters
+        self._db_buckets = self.deadblock.buckets
         self.rng = rng if rng is not None else random.Random(0)
         self.stats = LLCStats()
         self._tel = telemetry
@@ -103,6 +114,138 @@ class LastLevelCache:
             if result.victim is not None and result.victim.dirty:
                 self.stats.writebacks += 1
         return result
+
+    def _access_fast(self, block: int,
+                     is_write: bool) -> AccessResult:   # simlint: hotpath
+        """Hot-path access: same bookkeeping as :meth:`access`, with the
+        profiler and dead-block counter updates inlined (their methods are
+        single list/attribute increments) and the underlying cache's fast
+        tag scan.  Bit-identical to the reference path by construction.
+        """
+        result = self.cache._access_fast(block, is_write)
+        stats = self.stats
+        stats.accesses += 1
+        if result.hit:
+            stats.hits += 1
+            self._hit_counters[result.stack_position] += 1
+            age = result.reuse_age
+            if age is not None:
+                # DeadBlockPredictor.record_reuse, inlined: ages from the
+                # LRU cache are never negative, so max(0, age) is age.
+                bucket = age.bit_length()
+                self._db_buckets[
+                    bucket if bucket < DeadBlockPredictor.MAX_BUCKET
+                    else DeadBlockPredictor.MAX_BUCKET
+                ] += 1
+                self.deadblock.total_reuses += 1
+            if result.rewrote_eager_clean:
+                stats.wasted_eager += 1
+        else:
+            stats.misses += 1
+            self.profiler.miss_counter += 1
+            victim = result.victim
+            if victim is not None and victim.dirty:
+                stats.writebacks += 1
+        return result
+
+    def warm_chunk(
+        self,
+        trace: Iterator["TraceRecord"],
+        count_limit: int,
+        on_dirty_victim: Optional[Callable[[int], object]] = None,
+    ) -> Tuple[int, bool]:   # simlint: hotpath
+        """Consume up to ``count_limit`` records for functional warmup.
+
+        Returns ``(consumed, exhausted)``.  Cache-state effects (LRU
+        movement, line dirtying, profiler hit/miss counters, dead-block
+        histogram) are identical to calling :meth:`access` per record -
+        only bookkeeping that warmup provably discards is skipped:
+
+        * :class:`LLCStats` updates - ``System`` calls
+          ``reset_statistics()`` the moment warmup finishes, so every
+          increment would be zeroed anyway;
+        * ``rewrote_eager_clean`` detection - no eager machinery runs
+          before the event loop starts, so no line is eager-cleaned yet;
+        * per-record ``miss_counter`` / ``total_reuses`` stores - summed
+          locally and added once at chunk end (nothing samples the
+          profiler mid-warmup).
+
+        When the trace exposes a ``raw`` side stream (the profile fast
+        trace does), records are consumed from it as bare ``(block,
+        is_write)`` pairs - same RNG draws, no gap arithmetic, no record
+        objects.  Any other iterator is consumed record by record.
+
+        ``on_dirty_victim`` receives the block number of each dirty
+        evicted line (the DRAM write buffer warming hook).
+        """
+        cache = self.cache
+        num_sets = cache.num_sets
+        tag_sets = cache._tag_sets
+        sets = cache.sets
+        counts = cache.set_access_counts
+        assoc = cache.assoc
+        hit_counters = self.profiler.hit_counters
+        db_buckets = self.deadblock.buckets
+        max_bucket = DeadBlockPredictor.MAX_BUCKET
+        raw = getattr(trace, "raw", None)
+        raw_next = raw.__next__ if raw is not None else None
+        misses = 0
+        reuses = 0
+        consumed = 0
+        exhausted = False
+        while consumed < count_limit:
+            if raw_next is not None:
+                try:
+                    block, is_write = raw_next()
+                except StopIteration:
+                    exhausted = True
+                    break
+            else:
+                record = next(trace, None)
+                if record is None:
+                    exhausted = True
+                    break
+                block = record.block
+                is_write = record.is_write
+            consumed += 1
+            set_index = block % num_sets
+            tags = tag_sets[set_index]
+            tag = block // num_sets
+            counts[set_index] = count = counts[set_index] + 1
+            try:
+                position = tags.index(tag)
+            except ValueError:
+                misses += 1
+                lines = sets[set_index]
+                if len(lines) >= assoc:
+                    victim = lines.pop()
+                    del tags[-1]
+                    if on_dirty_victim is not None and victim.dirty:
+                        on_dirty_victim(victim.tag * num_sets + set_index)
+                lines.insert(0, CacheLine(tag=tag, dirty=is_write,
+                                          last_touch=count))
+                tags.insert(0, tag)
+                continue
+            lines = sets[set_index]
+            if position:
+                del tags[position]
+                tags.insert(0, tag)
+                line = lines.pop(position)
+                lines.insert(0, line)
+            else:
+                line = lines[0]
+            hit_counters[position] += 1
+            reuse_age = count - line.last_touch
+            line.last_touch = count
+            bucket = reuse_age.bit_length()
+            db_buckets[bucket if bucket < max_bucket else max_bucket] += 1
+            reuses += 1
+            if is_write:
+                line.dirty = True
+                line.eager_cleaned = False
+        self.profiler.miss_counter += misses
+        self.deadblock.total_reuses += reuses
+        return consumed, exhausted
 
     def pick_eager_candidate(self) -> Optional[int]:
         """Sample one random set; return a useless dirty block, or None.

@@ -4,15 +4,28 @@ The Eager Mellow Writes profiler needs, for every hit, the LRU stack
 position of the line that was hit (0 = MRU, assoc-1 = LRU), exploiting the
 stack property of LRU (Mattson et al., 1970).  ``access`` therefore returns
 the pre-access stack position alongside the hit/miss outcome.
+
+Two access implementations share these exact semantics:
+
+* the readable reference (:meth:`LRUCache._access_ref`), which scans the
+  set's ``CacheLine`` list Python-side; and
+* the hot path (:meth:`LRUCache._access_fast`, ``fastpath=True``), which
+  mirrors each set's tag order in a plain ``List[int]`` so the hit scan is
+  a single C-level ``list.index`` call instead of an O(assoc) loop of
+  attribute loads.  The mirror is maintained only by the fast path itself,
+  which is the sole mutator of set membership and order in that mode.
+
+Results are bit-identical either way; ``tests/test_fastpath.py`` holds the
+two paths to that across whole simulations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, NamedTuple, Optional, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     tag: int
     dirty: bool = False
@@ -20,7 +33,7 @@ class CacheLine:
     last_touch: int = 0           # set-access count at the last touch
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one cache access.
 
@@ -40,6 +53,25 @@ class AccessResult:
     reuse_age: Optional[int] = None   # set accesses since last touch (hits)
 
 
+class _FastAccessResult(NamedTuple):
+    """Structural twin of :class:`AccessResult` returned by the hot path.
+
+    Same field names and meanings; every consumer reads attributes only, so
+    the two are interchangeable.  A named tuple because the hot path builds
+    one per access and ``tuple.__new__`` is several times cheaper than a
+    dataclass ``__init__``.
+    """
+
+    hit: bool
+    stack_position: Optional[int]
+    victim: Optional[CacheLine]
+    rewrote_eager_clean: bool = False
+    reuse_age: Optional[int] = None
+
+
+_new_result = tuple.__new__
+
+
 class LRUCache:
     """An N-way set-associative write-back, write-allocate LRU cache.
 
@@ -47,21 +79,28 @@ class LRUCache:
     ``tag = block // num_sets``.  Each set is a list ordered MRU-first.
     """
 
-    def __init__(self, num_sets: int, assoc: int) -> None:
+    def __init__(self, num_sets: int, assoc: int,
+                 fastpath: bool = False) -> None:
         if num_sets < 1 or assoc < 1:
             raise ValueError("num_sets and assoc must be >= 1")
         self.num_sets = num_sets
         self.assoc = assoc
         self.sets: List[List[CacheLine]] = [[] for _ in range(num_sets)]
         self.set_access_counts: List[int] = [0] * num_sets
+        # MRU-first tag mirror of self.sets, maintained (and read) only by
+        # the fast access path; empty and ignored in reference mode.
+        self._tag_sets: List[List[int]] = [[] for _ in range(num_sets)]
+        self._fastpath = fastpath
+        if fastpath:
+            self.access = self._access_fast  # type: ignore[method-assign]
 
     @classmethod
-    def from_geometry(cls, size_bytes: int, assoc: int,
-                      line_bytes: int) -> "LRUCache":
+    def from_geometry(cls, size_bytes: int, assoc: int, line_bytes: int,
+                      fastpath: bool = False) -> "LRUCache":
         num_lines = size_bytes // line_bytes
         if num_lines % assoc:
             raise ValueError("cache size must be a whole number of sets")
-        return cls(num_lines // assoc, assoc)
+        return cls(num_lines // assoc, assoc, fastpath=fastpath)
 
     def set_index(self, block: int) -> int:
         return block % self.num_sets
@@ -75,6 +114,10 @@ class LRUCache:
 
     def access(self, block: int, is_write: bool) -> AccessResult:
         """Perform a demand access; fills on miss (write-allocate)."""
+        return self._access_ref(block, is_write)
+
+    def _access_ref(self, block: int, is_write: bool) -> AccessResult:
+        """Reference access: the readable O(assoc) Python-side scan."""
         set_index = self.set_index(block)
         lines = self.sets[set_index]
         tag = self.tag_of(block)
@@ -98,6 +141,50 @@ class LRUCache:
             victim = lines.pop()
         lines.insert(0, CacheLine(tag=tag, dirty=is_write, last_touch=count))
         return AccessResult(False, None, victim)
+
+    def _access_fast(self, block: int,
+                     is_write: bool) -> AccessResult:   # simlint: hotpath
+        """Hot-path access: C-level tag scan over the parallel tag mirror.
+
+        Same algorithm and same results as :meth:`_access_ref`; the only
+        difference is that the hit search is ``list.index`` on a list of
+        ints (one C call) instead of a Python loop over line objects.
+        """
+        num_sets = self.num_sets
+        set_index = block % num_sets
+        tags = self._tag_sets[set_index]
+        lines = self.sets[set_index]
+        tag = block // num_sets
+        counts = self.set_access_counts
+        counts[set_index] = count = counts[set_index] + 1
+        try:
+            position = tags.index(tag)
+        except ValueError:
+            victim = None
+            if len(lines) >= self.assoc:
+                victim = lines.pop()
+                del tags[-1]
+            lines.insert(0, CacheLine(tag=tag, dirty=is_write,
+                                      last_touch=count))
+            tags.insert(0, tag)
+            return _new_result(
+                _FastAccessResult, (False, None, victim, False, None))
+        if position:
+            del tags[position]
+            tags.insert(0, tag)
+            line = lines.pop(position)
+            lines.insert(0, line)
+        else:
+            line = lines[0]
+        reuse_age = count - line.last_touch
+        line.last_touch = count
+        rewrote = False
+        if is_write:
+            rewrote = line.eager_cleaned and not line.dirty
+            line.dirty = True
+            line.eager_cleaned = False
+        return _new_result(
+            _FastAccessResult, (True, position, None, rewrote, reuse_age))
 
     def lookup(self, block: int) -> Optional[CacheLine]:
         """Find a line without touching recency."""

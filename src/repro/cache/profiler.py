@@ -67,9 +67,13 @@ class StackProfiler:
         return position
 
     def end_sample_period(self) -> int:
-        """Close the period: publish the new eager position, reset counters."""
+        """Close the period: publish the new eager position, reset counters.
+
+        The counter list is zeroed in place, never replaced: the hot-path
+        LLC access caches a reference to it once at construction.
+        """
         self.eager_position = self.compute_eager_position()
-        self.hit_counters = [0] * self.assoc
+        self.hit_counters[:] = [0] * self.assoc
         self.miss_counter = 0
         self.samples_taken += 1
         return self.eager_position

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import shutil
 import sys
 from pathlib import Path
@@ -166,6 +167,40 @@ def _print_progress(event) -> None:
         f"{event.config.workload}/{event.config.policy_name} ({source})",
         file=sys.stderr,
     )
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run one config under cProfile and print the hottest call sites.
+
+    Bypasses the result cache (profiling a cache hit tells you nothing)
+    and, with ``--no-fastpath``, profiles the readable reference path
+    instead - the two profiles side by side show where the hot-path
+    layer spends its wins.  Note cProfile's tracing overhead inflates
+    wall clock severalfold; compare *shapes*, not absolute times (use
+    ``benchmarks/check_hotpath_speedup.py`` for honest timings).
+    """
+    import cProfile
+    import pstats
+
+    from repro.hotpath import FASTPATH_ENV
+    from repro.sim.system import run_simulation
+
+    config = _config_from_args(args, args.workload, args.policy)
+    if args.no_fastpath:
+        os.environ[FASTPATH_ENV] = "1"
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_simulation(config)
+    profiler.disable()
+    print(render(_result_table([result])))
+    mode = "reference path" if args.no_fastpath else "hot path"
+    print(f"\ncProfile ({mode}), top {args.limit} by {args.sort}:")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"wrote {args.output} (open with python -m pstats)")
+    return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -342,6 +377,23 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_parser.add_argument("--output", default=None,
                                 help="copy the metrics JSON here")
     metrics_parser.set_defaults(handler=cmd_metrics)
+
+    profile_parser = subparsers.add_parser(
+        "profile", help="run one config under cProfile and print the "
+                        "hottest call sites",
+    )
+    _add_run_arguments(profile_parser)
+    profile_parser.add_argument("--sort", default="cumtime",
+                                choices=["cumtime", "tottime", "ncalls"],
+                                help="pstats sort key (default cumtime)")
+    profile_parser.add_argument("--limit", type=int, default=25,
+                                help="rows of profile output (default 25)")
+    profile_parser.add_argument("--no-fastpath", action="store_true",
+                                help="profile the readable reference path "
+                                     "(sets REPRO_NO_FASTPATH=1)")
+    profile_parser.add_argument("--output", default=None,
+                                help="also dump raw pstats data here")
+    profile_parser.set_defaults(handler=cmd_profile)
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="simulate a workload x policy grid",

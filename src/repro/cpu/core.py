@@ -24,6 +24,18 @@ much of the trace as possible; it returns early when a wait condition holds
 backpressure).  Completion callbacks clear their condition and re-enter
 ``_run``.  Stall time is accounted from the moment ``_run`` first blocks to
 the moment it makes progress again.
+
+Fast path (``fastpath=True``): instead of paying a heap round trip for the
+instruction gap before every access, ``_run_inner`` asks the event queue
+for an analytic clock advance (:meth:`EventQueue.advance_if_clear`) and
+performs the access synchronously.  The advance succeeds only when no
+other event is due at or before the access time, so stretches of
+uninterrupted progress - consecutive LLC hits especially, but also misses
+whose completions land later - cost zero heap operations and zero closure
+allocations, while any intervening completion, epoch tick, or eager tick
+boundary falls back to the exact scheduled path.  Results are bit-identical
+either way; ``REPRO_NO_FASTPATH=1`` forces the scheduled path everywhere
+(the A/B baseline for the bit-identity tests and the perf gate).
 """
 
 from __future__ import annotations
@@ -32,9 +44,13 @@ from typing import Callable, Iterator, Optional
 
 from repro import params
 from repro.cache.llc import LastLevelCache
+from repro.cache.lru import AccessResult
 from repro.cpu.trace import TraceRecord
+from repro.hotpath import fastpath_enabled
 from repro.memory.controller import MemoryController
 from repro.sim.events import EventQueue
+
+__all__ = ["SimpleCore", "fastpath_enabled"]
 
 
 class SimpleCore:
@@ -48,6 +64,7 @@ class SimpleCore:
         mlp: int = params.LLC_MSHRS,
         on_access: Optional[Callable[[int], None]] = None,
         writeback_sink: Optional[Callable[[int], bool]] = None,
+        fastpath: bool = False,
     ) -> None:
         if base_cpi <= 0:
             raise ValueError("base_cpi must be positive")
@@ -66,6 +83,13 @@ class SimpleCore:
             writeback_sink if writeback_sink is not None
             else controller.submit_write
         )
+        self._fastpath = fastpath
+        # Cooperative stop: the driver (System) sets this when the
+        # measurement window closes so the fast path stops advancing
+        # analytically and yields control back to the event loop at the
+        # next gap boundary - exactly where the scheduled path would have
+        # returned to the loop and been stopped.
+        self.stop_requested = False
 
         self.instructions_retired = 0
         self.accesses_processed = 0
@@ -82,12 +106,34 @@ class SimpleCore:
         self._pending_fill: Optional[TraceRecord] = None
         self._finished = False
         self._in_run = False
+        # The analytic clock advance is only sound while the core owns the
+        # outermost event frame - its own gap/start event, where nothing in
+        # any enclosing frame runs after the callback returns.  When _run is
+        # re-entered from a *controller* frame (a read-completion or
+        # queue-space callback), the caller still has work to do at the
+        # current time (e.g. _complete_read issues the bank's next request
+        # after the callback), so moving the clock under it would reorder
+        # the simulation.  There the fast loop falls back to scheduling a
+        # gap event - exactly what the slow path does at that point anyway.
+        self._owns_clock = False
+        # Scheduled-path gap event: one bound method reused for every gap
+        # (at most one gap event is ever outstanding), with the record
+        # carried in an attribute instead of a fresh closure per record.
+        self._gap_record: Optional[TraceRecord] = None
+        self._gap_callback = self._gap_fired
 
     # ------------------------------------------------------------------
 
     def start(self) -> None:
         """Schedule the first instruction batch."""
-        self.events.schedule(self.events.now, self._run)
+        self.events.schedule(self.events.now, self._start_event)
+
+    def _start_event(self) -> None:
+        self._owns_clock = True
+        try:
+            self._run()
+        finally:
+            self._owns_clock = False
 
     def mark_counters_reset(self) -> None:
         """Zero retirement counters (end of warmup)."""
@@ -142,32 +188,69 @@ class SimpleCore:
         finally:
             self._in_run = False
 
-    def _run_inner(self) -> None:
+    def _run_inner(self) -> None:   # simlint: hotpath
+        # The per-record loop; every attribute consulted on each iteration
+        # is hoisted into a local.  Bookkeeping helpers (_blocked,
+        # _retire_backlog, _note_progress) are inlined as guarded slow
+        # calls so the common all-clear record costs no function calls
+        # beyond the trace pull, the clock advance and the LLC access.
+        events = self.events
+        advance_if_clear = events.advance_if_clear
+        trace = self.trace
+        llc_access = self.llc.access
+        on_access = self.on_access
+        base_cpi = self.base_cpi
+        clk_ns = params.CPU_CLK_NS
+        fastpath = self._fastpath and self._owns_clock
         while not self._finished:
-            if self._blocked():
+            if (self._wait_read_id is not None
+                    or self._waiting_mlp
+                    or self._waiting_write_space
+                    or self._waiting_read_space):
                 self._note_blocked()
                 return
-            if not self._retire_backlog():
-                self._note_blocked()
-                return
-            self._note_progress()
-            record = next(self.trace, None)
+            if (self._pending_writeback is not None
+                    or self._pending_fill is not None):
+                if not self._retire_backlog():
+                    self._note_blocked()
+                    return
+            if self._wait_since is not None:
+                self._note_progress()
+            record = next(trace, None)
             if record is None:
                 self._finished = True
                 return
-            if record.gap_insts > 0:
-                self.instructions_retired += record.gap_insts
-                gap_ns = record.gap_insts * self.base_cpi * params.CPU_CLK_NS
-                self.events.schedule_in(
-                    gap_ns, lambda r=record: self._access_then_run(r),
-                )
-                return
-            self._do_access(record)
+            gap_insts = record.gap_insts
+            if gap_insts > 0:
+                self.instructions_retired += gap_insts
+                gap_ns = gap_insts * base_cpi * clk_ns
+                if (fastpath and not self.stop_requested
+                        and advance_if_clear(events.now + gap_ns)):
+                    # The clock already sits at the access time; run the
+                    # access body the gap event would have run.
+                    pass
+                else:
+                    self._gap_record = record
+                    events.schedule_in(gap_ns, self._gap_callback)
+                    return
+            result = llc_access(record.block, record.is_write)
+            self.accesses_processed = count = self.accesses_processed + 1
+            if on_access is not None:
+                on_access(count)
+            if not result.hit:
+                self._handle_miss(record, result)
 
-    def _access_then_run(self, record: TraceRecord) -> None:
+    def _gap_fired(self) -> None:
+        record = self._gap_record
+        assert record is not None, "gap event fired without a pending record"
+        self._gap_record = None
         if not self._blocked() and self._retire_backlog():
             self._do_access(record)
-            self._run()
+            self._owns_clock = True
+            try:
+                self._run()
+            finally:
+                self._owns_clock = False
             return
         # Extremely rare: became blocked between scheduling and firing
         # (e.g. a cancellation filled the write queue).  Replay the access
@@ -200,9 +283,10 @@ class SimpleCore:
         self.accesses_processed += 1
         if self.on_access is not None:
             self.on_access(self.accesses_processed)
-        if result.hit:
-            return
+        if not result.hit:
+            self._handle_miss(record, result)
 
+    def _handle_miss(self, record: TraceRecord, result: AccessResult) -> None:
         # Dirty victim -> writeback (separate queue; may backpressure).
         if result.victim is not None and result.victim.dirty:
             victim_block = self.llc.cache.block_of(

@@ -8,12 +8,17 @@ memory at all.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Iterator, List
+from typing import Iterable, Iterator, List, NamedTuple
 
 
-@dataclass(frozen=True)
-class TraceRecord:
+class _TraceRecordBase(NamedTuple):
+    gap_insts: int
+    block: int
+    is_write: bool
+    dependent: bool = False
+
+
+class TraceRecord(_TraceRecordBase):
     """One LLC access.
 
     Attributes:
@@ -23,20 +28,27 @@ class TraceRecord:
         dependent: True when program progress blocks on this load's value
             (pointer chases, address computations).  Stores are never
             dependent.
+
+    A named tuple rather than a dataclass: traces run to hundreds of
+    thousands of records per simulation, and tuple construction is several
+    times cheaper than frozen-dataclass construction.  ``__new__`` keeps
+    the field validation; the hot-path trace generator
+    (:func:`repro.workloads.profiles._generate_fast`), whose records are
+    valid by construction, bypasses it with ``tuple.__new__``.
     """
 
-    gap_insts: int
-    block: int
-    is_write: bool
-    dependent: bool = False
+    __slots__ = ()
 
-    def __post_init__(self) -> None:
-        if self.gap_insts < 0:
+    def __new__(cls, gap_insts: int, block: int, is_write: bool,
+                dependent: bool = False) -> "TraceRecord":
+        if gap_insts < 0:
             raise ValueError("gap_insts cannot be negative")
-        if self.block < 0:
+        if block < 0:
             raise ValueError("block cannot be negative")
-        if self.is_write and self.dependent:
+        if is_write and dependent:
             raise ValueError("stores cannot be dependent")
+        return _TraceRecordBase.__new__(
+            cls, gap_insts, block, is_write, dependent)
 
 
 def replay(records: Iterable[TraceRecord], repeats: int = 1) -> Iterator[TraceRecord]:

@@ -74,6 +74,18 @@ class BankWearRecord:
         self.normal_writes = 0.0
         self.slow_writes_by_factor.clear()
 
+    def copy(self) -> "BankWearRecord":
+        """Independent snapshot of the tallies.
+
+        The record is a float plus one flat dict, so a shallow dict copy is
+        a full deep copy; ``RunResult`` collection uses this instead of
+        ``copy.deepcopy``, which costs ~30x more per record.
+        """
+        return BankWearRecord(
+            normal_writes=self.normal_writes,
+            slow_writes_by_factor=dict(self.slow_writes_by_factor),
+        )
+
 
 class WearTracker:
     """Tracks wear per bank and converts it to a system lifetime."""

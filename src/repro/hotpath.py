@@ -1,0 +1,41 @@
+"""Process-wide switch for the optimized hot-path execution layer.
+
+The simulator keeps two implementations of its per-access machinery:
+
+* the **reference path** - the readable, obviously-correct code the rest of
+  the documentation describes (scheduled gap events in the core, the
+  O(assoc) LRU scan, ``random.Random`` convenience methods in trace
+  generation);
+* the **hot path** - slimmed variants of exactly the same algorithms
+  (analytic clock advances, C-level tag scans, prebound RNG primitives)
+  that produce bit-identical results several times faster.
+
+``REPRO_NO_FASTPATH=1`` forces the reference path everywhere.  It is the
+oracle: the A/B bit-identity tests and the CI perf gate
+(``benchmarks/check_hotpath_speedup.py``) run every matrix config in both
+modes and require identical ``RunResult`` payloads, cache keys and
+telemetry bundles - and a >=2x wall-clock win for the hot path.
+
+The switch is intentionally environment-only.  It must never influence
+results, so it has no place in :class:`~repro.sim.config.SimConfig` or the
+sweep cache key.
+"""
+
+from __future__ import annotations
+
+import os
+
+FASTPATH_ENV = "REPRO_NO_FASTPATH"
+
+
+def fastpath_enabled() -> bool:
+    """Whether the optimized hot-path layer is allowed (default: yes).
+
+    Set ``REPRO_NO_FASTPATH=1`` (or ``true``/``yes``/``on``) to force the
+    reference execution path.  Forced-off runs are bit-identical to
+    hot-path runs; the switch exists for A/B verification and as the perf
+    baseline, not because results differ.
+    """
+    return os.environ.get(FASTPATH_ENV, "").strip().lower() not in (
+        "1", "true", "yes", "on",
+    )

@@ -27,6 +27,10 @@ Rule index:
 * ``SIM008`` telemetry-wall-clock - any ``time``/``datetime`` import or
   dotted call inside ``src/repro/telemetry/``; telemetry timestamps must
   come from the simulated clock or traced runs stop being bit-identical.
+* ``SIM009`` hotpath-alloc       - lambda or nested ``def`` allocated on
+  every iteration of a loop inside a function marked ``# simlint:
+  hotpath``; closure allocation is exactly the overhead those functions
+  exist to avoid (hoist the callable or prebind a method).
 """
 
 from __future__ import annotations
@@ -112,6 +116,17 @@ RULES: Dict[str, RuleInfo] = {
                  "Telemetry clock callable) instead of importing "
                  "time/datetime",
         ),
+        RuleInfo(
+            rule_id="SIM009",
+            name="hotpath-alloc",
+            severity="warning",
+            summary="lambda/closure allocated on every loop iteration of "
+                    "a '# simlint: hotpath' function",
+            hint="hoist the callable out of the loop - bind it once "
+                 "before the loop or prebind a method; per-iteration "
+                 "closure allocation is the overhead hotpath functions "
+                 "exist to avoid",
+        ),
     )
 }
 
@@ -175,6 +190,15 @@ TELEMETRY_BANNED_MODULES = frozenset({"time", "datetime"})
 #: package.
 _TELEMETRY_PATH_FRAGMENT = "repro/telemetry/"
 
+# --------------------------------------------------------------------------
+# SIM009: hotpath functions must not allocate closures per iteration
+# --------------------------------------------------------------------------
+
+#: Comment text that opts a function into SIM009.  By convention it sits on
+#: the ``def`` line (or any line of a multi-line signature) of functions on
+#: the simulator's measured hot paths.
+HOTPATH_MARKER = "simlint: hotpath"
+
 
 def is_telemetry_path(path: str) -> bool:
     """True when ``path`` lies inside ``src/repro/telemetry/``."""
@@ -237,10 +261,17 @@ _MUTABLE_CONSTRUCTORS = frozenset({
 class _RuleVisitor(ast.NodeVisitor):
     """Single-pass AST walk emitting findings for every enabled rule."""
 
-    def __init__(self, path: str, emit: Callable[..., None]) -> None:
+    def __init__(self, path: str, emit: Callable[..., None],
+                 source_lines: Optional[List[str]] = None) -> None:
         self.path = path
         self.emit = emit
         self.in_telemetry = is_telemetry_path(path)
+        self.source_lines = source_lines if source_lines is not None else []
+        # SIM009 state: whether the innermost enclosing function carries
+        # the hotpath marker, and how many per-iteration loop scopes deep
+        # the walk currently is *within that function*.
+        self._hotpath = False
+        self._loop_depth = 0
 
     # -- SIM001 / SIM002 / SIM003 / SIM008 ----------------------------
 
@@ -372,11 +403,11 @@ class _RuleVisitor(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_mutable_defaults(node)
-        self.generic_visit(node)
+        self._enter_function(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_mutable_defaults(node)
-        self.generic_visit(node)
+        self._enter_function(node)
 
     def _check_mutable_defaults(self, node: ast.AST) -> None:
         args = node.args
@@ -397,6 +428,106 @@ class _RuleVisitor(ast.NodeVisitor):
                     f"default argument {default.func.id}() is evaluated "
                     "once at definition time",
                 )
+
+    # -- SIM009 --------------------------------------------------------
+
+    def _has_hotpath_marker(self, node: ast.AST) -> bool:
+        """Whether the def header (any signature line) carries the marker."""
+        body = getattr(node, "body", None)
+        start = node.lineno
+        stop = body[0].lineno if body else start + 1
+        lines = self.source_lines
+        for lineno in range(start, stop):
+            if 1 <= lineno <= len(lines) and HOTPATH_MARKER in lines[lineno - 1]:
+                return True
+        return False
+
+    def _enter_function(self, node: ast.AST) -> None:
+        if self._hotpath and self._loop_depth:
+            name = getattr(node, "name", "<function>")
+            self.emit(
+                "SIM009", node,
+                f"nested function {name!r} is allocated on every "
+                "iteration of a hotpath loop",
+            )
+        saved = (self._hotpath, self._loop_depth)
+        self._hotpath = self._has_hotpath_marker(node)
+        self._loop_depth = 0
+        self.generic_visit(node)
+        self._hotpath, self._loop_depth = saved
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        if self._hotpath and self._loop_depth:
+            self.emit(
+                "SIM009", node,
+                "lambda is allocated on every iteration of a hotpath loop",
+            )
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_for(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._visit_for(node)
+
+    def _visit_for(self, node: "ast.For | ast.AsyncFor") -> None:
+        # The iterable expression is evaluated once, before the loop; a
+        # lambda there (e.g. a sort key) is not a per-iteration cost.
+        self.visit(node.iter)
+        self.visit(node.target)
+        self._loop_depth += 1
+        for statement in node.body:
+            self.visit(statement)
+        self._loop_depth -= 1
+        for statement in node.orelse:   # runs once, after the loop
+            self.visit(statement)
+
+    def visit_While(self, node: ast.While) -> None:
+        # Unlike For's iterable, the test re-evaluates every iteration.
+        self._loop_depth += 1
+        self.visit(node.test)
+        for statement in node.body:
+            self.visit(statement)
+        self._loop_depth -= 1
+        for statement in node.orelse:
+            self.visit(statement)
+
+    def _visit_comprehension(
+        self,
+        node: "ast.ListComp | ast.SetComp | ast.DictComp | ast.GeneratorExp",
+    ) -> None:
+        # The first generator's source is evaluated once; everything else
+        # (element expression, conditions, nested generators) runs per
+        # iteration.
+        first = node.generators[0]
+        self.visit(first.iter)
+        self._loop_depth += 1
+        self.visit(first.target)
+        for condition in first.ifs:
+            self.visit(condition)
+        for generator in node.generators[1:]:
+            self.visit(generator.target)
+            self.visit(generator.iter)
+            for condition in generator.ifs:
+                self.visit(condition)
+        if isinstance(node, ast.DictComp):
+            self.visit(node.key)
+            self.visit(node.value)
+        else:
+            self.visit(node.elt)
+        self._loop_depth -= 1
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node)
 
     # -- SIM006 --------------------------------------------------------
 
@@ -428,5 +559,5 @@ def check_source(path: str, tree: ast.Module,
             snippet=snippet,
         ))
 
-    _RuleVisitor(path, emit).visit(tree)
+    _RuleVisitor(path, emit, source_lines).visit(tree)
     return iter(found)

@@ -8,7 +8,7 @@ from typing import Optional
 from repro.memory.queues import Request
 
 
-@dataclass
+@dataclass(slots=True)
 class InFlight:
     """The operation a bank is currently executing.
 
@@ -38,6 +38,9 @@ class Bank:
     the currently open row leaves the buffer open (the device updates it in
     place).  Reads open rows.
     """
+
+    __slots__ = ("index", "open_row", "busy_until", "in_flight",
+                 "busy_time_ns", "ops_begun", "ops_cancelled")
 
     def __init__(self, index: int) -> None:
         self.index = index

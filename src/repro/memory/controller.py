@@ -37,7 +37,7 @@ from repro.sim.events import EventQueue
 from repro.telemetry import (EV_CANCEL, EV_COMPLETE, EV_DRAIN_ENTER,
                              EV_DRAIN_EXIT, EV_ENQUEUE, EV_ISSUE, EV_PAUSE,
                              NULL_TELEMETRY, Telemetry)
-from repro.telemetry.metrics import Counter
+from repro.telemetry.metrics import Counter, bank_metric_name
 
 
 class _ControllerTelemetry:
@@ -64,12 +64,14 @@ class _ControllerTelemetry:
         self.drain_active = metrics.gauge("ctrl.drain_active")
         self.read_latency = metrics.histogram("ctrl.read_latency_ns")
         # Per-bank slow/normal issue mix (the Bank-Aware observable).
+        # bank_metric_name keeps the naming scheme in one cached place,
+        # shared with the System wear/utilization probes.
         self.bank_slow: List[Counter] = [
-            metrics.counter(f"bank.{i:02d}.writes_slow")
+            metrics.counter(bank_metric_name(i, "writes_slow"))
             for i in range(num_banks)
         ]
         self.bank_normal: List[Counter] = [
-            metrics.counter(f"bank.{i:02d}.writes_normal")
+            metrics.counter(bank_metric_name(i, "writes_normal"))
             for i in range(num_banks)
         ]
 
@@ -191,6 +193,9 @@ class MemoryController:
             raise ValueError("read_scheduler must be 'fcfs' or 'frfcfs'")
         # Per-bank read selection: plain FCFS, or FR-FCFS (row hits first).
         self.read_scheduler = read_scheduler
+        # Hoisted once: _select_request runs on every issue opportunity and
+        # a string compare there is measurable.
+        self._frfcfs = read_scheduler == "frfcfs"
 
         self.banks: List[Bank] = [Bank(i) for i in range(self.amap.num_banks)]
         self.faw: List[RankFawLimiter] = [
@@ -404,26 +409,26 @@ class MemoryController:
             self._issue_write(bank, request)
 
     def _select_request(self, bank_index: int) -> Optional[Request]:
-        reads = self.read_q.count_bank(bank_index)
-        writes = self.write_q.count_bank(bank_index)
+        # Runs on every issue opportunity; try_pop_bank folds the
+        # emptiness test into the pop so each queue is probed once.
         if self.drain_mode:
             # Write drain stalls reads system-wide until the queue empties
             # to drain_low - this global turnaround is what makes drains
             # "an expensive memory operation" (Section VI-C).
-            if writes:
-                return self.write_q.pop_bank(bank_index)
-            return None
-        if reads:
-            if self.read_scheduler == "frfcfs":
+            return self.write_q.try_pop_bank(bank_index)
+        if self._frfcfs:
+            if self.read_q.count_bank(bank_index):
                 return self.read_q.pop_bank_row_first(
                     bank_index, self.banks[bank_index].open_row,
                 )
-            return self.read_q.pop_bank(bank_index)
-        if writes:
-            return self.write_q.pop_bank(bank_index)
-        if self.eager_q.count_bank(bank_index):
-            return self.eager_q.pop_bank(bank_index)
-        return None
+        else:
+            request = self.read_q.try_pop_bank(bank_index)
+            if request is not None:
+                return request
+        request = self.write_q.try_pop_bank(bank_index)
+        if request is not None:
+            return request
+        return self.eager_q.try_pop_bank(bank_index)
 
     def _reserve_bus(self, earliest_ns: float) -> float:
         """Reserve the shared data bus; returns the burst start time."""

@@ -30,7 +30,7 @@ EAGER = "eager"
 _request_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """One memory request as seen by the controller.
 
@@ -210,6 +210,23 @@ class RequestQueue:
         per_bank = self._per_bank.get(bank)
         if not per_bank:
             raise LookupError(f"no {self.name} request for bank {bank}")
+        self._integrate()
+        self._size -= 1
+        popped = per_bank.popleft()
+        if self._sanitize:
+            self._check_occupancy()
+        return popped
+
+    def try_pop_bank(self, bank: int) -> Optional[Request]:
+        """:meth:`pop_bank`, but None for an empty bank FIFO.
+
+        The controller's per-bank issue loop runs this on every issue
+        opportunity; folding the emptiness test into the pop halves the
+        dictionary lookups of the ``count_bank``-then-``pop_bank`` idiom.
+        """
+        per_bank = self._per_bank.get(bank)
+        if not per_bank:
+            return None
         self._integrate()
         self._size -= 1
         popped = per_bank.popleft()

@@ -3,11 +3,20 @@
 Events are (time_ns, sequence, callback) triples ordered first by time and
 then by insertion order, which makes simulation results independent of
 callback identity and fully reproducible.
+
+The queue also exposes the core's fast-path seam,
+:meth:`EventQueue.advance_if_clear`: when no pending event is due at or
+before a target time, the clock can jump there directly with the exact
+observable side effects of scheduling-then-popping an event at that time
+(monotonicity check, clock update, executed-event count) minus the heap
+round trip and callback allocation.  The schedule/pop pair and the
+analytic advance are interchangeable by construction, which is what keeps
+fast-path runs bit-identical to forced-off runs.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Callable, List, Optional, Tuple
 
 from repro.lint.sanitize import check, resolve
@@ -26,8 +35,12 @@ class EventQueue:
 
     With telemetry enabled the queue keeps an executed-event counter; the
     counter object is resolved once here so the per-pop cost is a single
-    ``is not None`` check.
+    ``is not None`` check.  Analytic advances count too: one advance stands
+    in for exactly one popped event, so the ``events.executed`` series is
+    identical whether or not the fast path is engaged.
     """
+
+    __slots__ = ("_heap", "_seq", "now", "_sanitize", "_executed")
 
     def __init__(self, sanitize: Optional[bool] = None,
                  telemetry: Telemetry = NULL_TELEMETRY) -> None:
@@ -47,7 +60,7 @@ class EventQueue:
             raise ValueError(
                 f"cannot schedule event at {time_ns} ns before now ({self.now} ns)"
             )
-        heapq.heappush(self._heap, (time_ns, self._seq, callback))
+        heappush(self._heap, (time_ns, self._seq, callback))
         self._seq += 1
 
     def schedule_in(self, delay_ns: float, callback: Callback) -> None:
@@ -60,11 +73,37 @@ class EventQueue:
         """Time of the next pending event, or None when the queue is empty."""
         return self._heap[0][0] if self._heap else None
 
-    def pop_and_run(self) -> bool:
-        """Run the earliest event.  Returns False when the queue is empty."""
-        if not self._heap:
+    def advance_if_clear(self, time_ns: float) -> bool:   # simlint: hotpath
+        """Jump the clock to ``time_ns`` unless an event is due first.
+
+        Returns False (and changes nothing) when any pending event is
+        scheduled at or before ``time_ns`` - including the exact-tie case,
+        which must go through the heap so FIFO sequence ordering decides.
+        On success the clock moves and one executed event is accounted,
+        exactly as if an event at ``time_ns`` had been scheduled and
+        popped; the caller then runs its callback body inline.
+        """
+        heap = self._heap
+        if heap and heap[0][0] <= time_ns:
             return False
-        time_ns, seq, callback = heapq.heappop(self._heap)
+        if self._sanitize:
+            check(
+                time_ns >= self.now, "event-time-monotonicity",
+                "fast path advanced the clock backwards",
+                event_time_ns=time_ns, now_ns=self.now,
+            )
+        self.now = time_ns
+        executed = self._executed
+        if executed is not None:
+            executed.value += 1.0
+        return True
+
+    def pop_and_run(self) -> bool:   # simlint: hotpath
+        """Run the earliest event.  Returns False when the queue is empty."""
+        heap = self._heap
+        if not heap:
+            return False
+        time_ns, seq, callback = heappop(heap)
         if self._sanitize:
             check(
                 time_ns >= self.now, "event-time-monotonicity",
@@ -72,8 +111,9 @@ class EventQueue:
                 event_time_ns=time_ns, now_ns=self.now, sequence=seq,
             )
         self.now = time_ns
-        if self._executed is not None:
-            self._executed.value += 1.0
+        executed = self._executed
+        if executed is not None:
+            executed.value += 1.0
         callback()
         return True
 

@@ -9,14 +9,13 @@ utilization, drain time, request breakdowns and energy.
 
 from __future__ import annotations
 
-import copy
 import random
 from pathlib import Path
 from typing import TYPE_CHECKING, List, Optional, Union
 
 from repro.cache.llc import LastLevelCache
 from repro.core.wear_quota import WearQuota
-from repro.cpu.core import SimpleCore
+from repro.cpu.core import SimpleCore, fastpath_enabled
 from repro.endurance.model import EnduranceModel
 from repro.endurance.flipnwrite import FlipNWrite
 from repro.endurance.wear import WearTracker
@@ -29,7 +28,8 @@ from repro.memory.timing import MemoryTiming
 from repro.sim.config import SimConfig
 from repro.sim.events import EventQueue
 from repro.sim.stats import RunResult
-from repro.telemetry import EV_PHASE, NULL_TELEMETRY, Telemetry
+from repro.telemetry import (EV_PHASE, NULL_TELEMETRY, Telemetry,
+                             bank_metric_name)
 from repro.workloads.profiles import WorkloadProfile, get_profile
 
 if TYPE_CHECKING:
@@ -108,6 +108,7 @@ class System:
             rng=random.Random(config.seed * 7919 + 13),
             eager_selector=config.eager_selector,
             telemetry=self.telemetry,
+            fastpath=fastpath_enabled(),
         )
         self.flip_n_write: Optional[FlipNWrite] = None
         if config.flip_n_write:
@@ -146,6 +147,7 @@ class System:
                 self._buffered_writeback if self.dram_buffer is not None
                 else None
             ),
+            fastpath=fastpath_enabled(),
         )
         self._measure_start_ns: Optional[float] = None
         self._measure_end_ns: Optional[float] = None
@@ -158,7 +160,10 @@ class System:
         """Attach the epoch-sampled probes that read existing state.
 
         Probes run only when a sample is taken (once per 500 us epoch), so
-        none of this adds work to the simulation hot paths.
+        none of this adds work to the simulation hot paths.  Registration
+        itself is O(banks) per System *construction* - one probe object and
+        one (cached) :func:`bank_metric_name` lookup per bank, never
+        per-event and never per-sample beyond the probe call itself.
         """
         tel = self.telemetry
         metrics = tel.metrics
@@ -175,9 +180,9 @@ class System:
         metrics.probe("wear.total_writes",
                       lambda: float(self.wear.total_writes()))
         for bank in ctrl.banks:
-            metrics.probe(f"bank.{bank.index:02d}.ops_begun",
+            metrics.probe(bank_metric_name(bank.index, "ops_begun"),
                           lambda b=bank: float(b.ops_begun))
-            metrics.probe(f"bank.{bank.index:02d}.ops_cancelled",
+            metrics.probe(bank_metric_name(bank.index, "ops_cancelled"),
                           lambda b=bank: float(b.ops_cancelled))
         tel.set_wear_probe(self.wear.bank_damages)
 
@@ -247,6 +252,10 @@ class System:
               and count >= self.config.measure_accesses):
             self._measure_end_ns = self.events.now
             self._done = True
+            # Stop the core's analytic fast path too: from here on it must
+            # schedule (never inline) gap events, so the run ends with the
+            # same pending-event state as a forced-off run.
+            self.core.stop_requested = True
 
     def _end_warmup(self) -> None:
         self._measure_start_ns = self.events.now
@@ -277,6 +286,8 @@ class System:
         fraction of the cost - the same trick gem5 users play with
         functional warming.  Returns the number of accesses consumed.
         """
+        if fastpath_enabled():
+            return self._functional_warmup_fast()
         config = self.config
         capacity = self.llc.cache.num_sets * self.llc.cache.assoc
         target = int(capacity * config.functional_warmup_occupancy)
@@ -306,6 +317,42 @@ class System:
         self.llc.reset_statistics()
         if self.dram_buffer is not None:
             self.dram_buffer.stats = type(self.dram_buffer.stats)()
+        return consumed
+
+    def _functional_warmup_fast(self) -> int:
+        """Hot-path twin of the reference loop in ``_functional_warmup``.
+
+        Consumes exactly the same records with the same cache effects.  The
+        every-8192-records occupancy check of the reference loop (which
+        re-tests ``consumed % 8192`` on every record) becomes the boundary
+        between chunks handed to :meth:`LastLevelCache.warm_chunk`, where
+        the per-record work runs with everything hoisted into locals.
+        """
+        config = self.config
+        llc = self.llc
+        cache = llc.cache
+        capacity = cache.num_sets * cache.assoc
+        target = int(capacity * config.functional_warmup_occupancy)
+        maximum = config.functional_warmup_max
+        trace = self._trace
+        buffer = self.dram_buffer
+        on_dirty_victim = buffer.insert if buffer is not None else None
+        consumed = 0
+        exhausted = False
+        while consumed < maximum and not exhausted:
+            # Chunk boundaries land exactly on the reference loop's
+            # consumed % 8192 == 0 checkpoints (0, 8192, ...).
+            if cache.occupancy() >= target and (
+                    buffer is None or buffer.full):
+                break
+            chunk = maximum - consumed
+            if chunk > 8192:
+                chunk = 8192
+            done, exhausted = llc.warm_chunk(trace, chunk, on_dirty_victim)
+            consumed += done
+        llc.reset_statistics()
+        if buffer is not None:
+            buffer.stats = type(buffer.stats)()
         return consumed
 
     def run(self, max_events: int = 200_000_000) -> RunResult:
@@ -417,7 +464,7 @@ class System:
             drain_events=cstats.drain_events,
             read_energy_pj=read_energy,
             write_energy_pj=write_energy,
-            wear_records=copy.deepcopy(self.wear.records),
+            wear_records=[record.copy() for record in self.wear.records],
             blocks_per_bank=self.amap.blocks_per_bank,
             leveling_efficiency=config.leveling_efficiency,
         )

@@ -17,7 +17,8 @@ from repro.telemetry.core import (MANIFEST_NAME, NULL_TELEMETRY,
                                   Telemetry, bundle_is_complete)
 from repro.telemetry.heatmap import WearHeatmap
 from repro.telemetry.metrics import (READ_LATENCY_BUCKETS_NS, Counter, Gauge,
-                                     Histogram, MetricRegistry)
+                                     Histogram, MetricRegistry,
+                                     bank_metric_name)
 from repro.telemetry.tracer import (EV_CANCEL, EV_COMPLETE, EV_DRAIN_ENTER,
                                     EV_DRAIN_EXIT, EV_EAGER_DEMOTE,
                                     EV_ENQUEUE, EV_ISSUE, EV_PAUSE, EV_PHASE,
@@ -28,7 +29,7 @@ __all__ = [
     "Telemetry", "NullTelemetry", "NULL_TELEMETRY", "bundle_is_complete",
     "MANIFEST_NAME", "TELEMETRY_SCHEMA_VERSION",
     "MetricRegistry", "Counter", "Gauge", "Histogram",
-    "READ_LATENCY_BUCKETS_NS",
+    "READ_LATENCY_BUCKETS_NS", "bank_metric_name",
     "EventTracer", "TraceEvent", "chrome_trace", "EVENT_KINDS",
     "EV_ENQUEUE", "EV_ISSUE", "EV_COMPLETE", "EV_CANCEL", "EV_PAUSE",
     "EV_DRAIN_ENTER", "EV_DRAIN_EXIT", "EV_QUOTA_TRIP", "EV_EAGER_DEMOTE",

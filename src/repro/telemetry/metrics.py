@@ -29,7 +29,21 @@ a registry is pure bookkeeping and never perturbs results.
 from __future__ import annotations
 
 from bisect import bisect_left
+from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+
+@lru_cache(maxsize=None)
+def bank_metric_name(index: int, suffix: str) -> str:
+    """Canonical ``bank.NN.suffix`` metric name, computed once per pair.
+
+    Every per-bank instrument and probe (controller counters, system
+    probes) goes through this helper so the names are built once per
+    process rather than re-formatted for every System constructed during
+    a sweep, and so the naming convention lives in exactly one place.
+    """
+    return f"bank.{index:02d}.{suffix}"
+
 
 #: Default read-latency histogram bucket upper bounds (ns).  Chosen to
 #: straddle the interesting regimes: row hits (~60 ns), row misses,

@@ -7,14 +7,32 @@ returning ``(block, is_write, dependent)``.  Workload profiles
 Blocks are *global cacheline indices*; patterns operate inside a region
 ``[base, base + size_blocks)`` so different components of one workload touch
 disjoint data structures.
+
+Every pattern also offers ``compile_fast(rng)``, which returns a zero-arg
+closure equivalent to ``next(rng)`` with the per-call overhead stripped:
+parameters prebound as locals, ``rng.random``/``rng.getrandbits`` looked up
+once, and ``randrange`` replaced by an inline of CPython's
+``Random._randbelow_with_getrandbits`` rejection loop::
+
+    k = n.bit_length()
+    r = getrandbits(k)
+    while r >= n:
+        r = getrandbits(k)
+
+That loop is the exact algorithm ``randrange(n)`` has used on every CPython
+this project supports (3.10-3.12), so the compiled closures draw the same
+values from the same generator state - the trace is bit-identical, which
+``tests/test_fastpath.py`` checks end to end.  The base-class default simply
+wraps ``next``, so custom patterns stay correct without a compiled form.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Tuple
+from typing import Callable, Tuple
 
 Access = Tuple[int, bool, bool]
+FastNext = Callable[[], Access]
 
 
 class Pattern:
@@ -22,6 +40,14 @@ class Pattern:
 
     def next(self, rng: random.Random) -> Access:
         raise NotImplementedError
+
+    def compile_fast(self, rng: random.Random) -> FastNext:
+        """A zero-arg closure equivalent to ``next(rng)`` (see module doc).
+
+        Subclasses override this with slimmed closures; this default keeps
+        any pattern without one correct (if no faster).
+        """
+        return lambda: self.next(rng)
 
 
 class SequentialStream(Pattern):
@@ -53,6 +79,19 @@ class SequentialStream(Pattern):
         is_write = rng.random() < self.write_ratio
         return block, is_write, False
 
+    def compile_fast(self, rng: random.Random) -> FastNext:
+        base = self.base
+        size = self.size_blocks
+        stride = self.stride
+        write_ratio = self.write_ratio
+        rnd = rng.random
+
+        def fast_next() -> Access:   # simlint: hotpath
+            cursor = self._cursor
+            self._cursor = (cursor + stride) % size
+            return base + cursor, rnd() < write_ratio, False
+        return fast_next
+
 
 class RandomAccess(Pattern):
     """Uniform random accesses over a region (GUPS-like when writing)."""
@@ -71,6 +110,23 @@ class RandomAccess(Pattern):
         is_write = rng.random() < self.write_ratio
         dependent = self.dependent and not is_write
         return block, is_write, dependent
+
+    def compile_fast(self, rng: random.Random) -> FastNext:
+        base = self.base
+        n = self.size_blocks
+        k = n.bit_length()
+        write_ratio = self.write_ratio
+        dependent = self.dependent
+        rnd = rng.random
+        getrandbits = rng.getrandbits
+
+        def fast_next() -> Access:   # simlint: hotpath
+            r = getrandbits(k)
+            while r >= n:
+                r = getrandbits(k)
+            is_write = rnd() < write_ratio
+            return base + r, is_write, dependent and not is_write
+        return fast_next
 
 
 class HotSet(Pattern):
@@ -100,6 +156,29 @@ class HotSet(Pattern):
         is_write = rng.random() < self.write_ratio
         return block, is_write, False
 
+    def compile_fast(self, rng: random.Random) -> FastNext:
+        base = self.base
+        size = self.size_blocks
+        size_k = size.bit_length()
+        hot = self.hot_blocks
+        hot_k = hot.bit_length()
+        hot_fraction = self.hot_fraction
+        write_ratio = self.write_ratio
+        rnd = rng.random
+        getrandbits = rng.getrandbits
+
+        def fast_next() -> Access:   # simlint: hotpath
+            if rnd() < hot_fraction:
+                r = getrandbits(hot_k)
+                while r >= hot:
+                    r = getrandbits(hot_k)
+            else:
+                r = getrandbits(size_k)
+                while r >= size:
+                    r = getrandbits(size_k)
+            return base + r, rnd() < write_ratio, False
+        return fast_next
+
 
 class PointerChase(Pattern):
     """Dependent random reads (mcf-style): every load gates progress."""
@@ -116,6 +195,22 @@ class PointerChase(Pattern):
         block = self.base + rng.randrange(self.size_blocks)
         is_write = rng.random() < self.write_ratio
         return block, is_write, not is_write
+
+    def compile_fast(self, rng: random.Random) -> FastNext:
+        base = self.base
+        n = self.size_blocks
+        k = n.bit_length()
+        write_ratio = self.write_ratio
+        rnd = rng.random
+        getrandbits = rng.getrandbits
+
+        def fast_next() -> Access:   # simlint: hotpath
+            r = getrandbits(k)
+            while r >= n:
+                r = getrandbits(k)
+            is_write = rnd() < write_ratio
+            return base + r, is_write, not is_write
+        return fast_next
 
 
 class ReadModifyWrite(Pattern):
@@ -138,6 +233,26 @@ class ReadModifyWrite(Pattern):
         block = self.base + rng.randrange(self.size_blocks)
         self._pending_write = block
         return block, False, self.dependent_reads
+
+    def compile_fast(self, rng: random.Random) -> FastNext:
+        base = self.base
+        n = self.size_blocks
+        k = n.bit_length()
+        dependent_reads = self.dependent_reads
+        getrandbits = rng.getrandbits
+
+        def fast_next() -> Access:   # simlint: hotpath
+            pending = self._pending_write
+            if pending >= 0:
+                self._pending_write = -1
+                return pending, True, False
+            r = getrandbits(k)
+            while r >= n:
+                r = getrandbits(k)
+            block = base + r
+            self._pending_write = block
+            return block, False, dependent_reads
+        return fast_next
 
 
 class PhasedPattern(Pattern):
@@ -166,3 +281,17 @@ class PhasedPattern(Pattern):
             self._served = 0
             self._in_second = not self._in_second
         return active.next(rng)
+
+    def compile_fast(self, rng: random.Random) -> FastNext:
+        first = self.first.compile_fast(rng)
+        second = self.second.compile_fast(rng)
+        phase_length = self.phase_length
+
+        def fast_next() -> Access:
+            active = second if self._in_second else first
+            self._served += 1
+            if self._served >= phase_length:
+                self._served = 0
+                self._in_second = not self._in_second
+            return active()
+        return fast_next

@@ -20,9 +20,11 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass
+from math import log
 from typing import Callable, Dict, Iterator, List, Sequence, Tuple
 
 from repro.cpu.trace import TraceRecord
+from repro.hotpath import fastpath_enabled
 from repro.workloads.patterns import (
     HotSet,
     Pattern,
@@ -69,6 +71,9 @@ class WorkloadProfile:
             cumulative.append(acc)
         mean_gap = 1000.0 / self.apki
 
+        if fastpath_enabled():
+            return _FastTrace(rng, patterns, cumulative, mean_gap)
+
         def generate() -> Iterator[TraceRecord]:
             while True:
                 r = rng.random()
@@ -83,6 +88,84 @@ class WorkloadProfile:
                 yield TraceRecord(gap, block, is_write, dependent)
 
         return generate()
+
+
+class _FastTrace:
+    """Hot-path twin of the reference generator in ``trace``.
+
+    Identical RNG call sequence, so the records are bit-identical; the wins
+    are the compiled pattern closures (see :mod:`repro.workloads.patterns`),
+    ``expovariate`` inlined to CPython's own expression
+    ``-log(1.0 - random()) / lambd`` with ``lambd = 1.0 / mean_gap`` - the
+    same division in the same order, hence the same floats - and records
+    built with ``tuple.__new__``, skipping :class:`TraceRecord`'s field
+    validation (every record here satisfies it by construction: gaps are
+    non-negative ints, blocks are region bases plus non-negative offsets,
+    and no pattern emits a dependent store).
+
+    Besides the normal record iterator this exposes ``raw``, a second
+    generator over the *same* RNG and compiled closures that yields bare
+    ``(block, is_write)`` pairs.  Functional warmup only looks at those
+    two fields, so skipping the gap arithmetic and the record allocation
+    there is free - and switching between the two generators at any point
+    is sound because every draw goes through the shared ``rng`` and every
+    cursor lives on the pattern objects, never in a generator frame.  The
+    gap draw still happens in ``raw`` (its value is discarded) to keep
+    the stream aligned with the reference path.
+    """
+
+    __slots__ = ("raw", "_records", "_next")
+
+    def __init__(self, rng: random.Random, patterns: WeightedPatterns,
+                 cumulative: List[float], mean_gap: float) -> None:
+        compiled = [
+            (cum, pattern.compile_fast(rng))
+            for cum, (_, pattern) in zip(cumulative, patterns)
+        ]
+        fallback = compiled[-1][1]
+        rnd = rng.random
+        lambd = 1.0 / mean_gap
+        self.raw = self._raw_gen(rnd, compiled, fallback)
+        self._records = self._record_gen(rnd, compiled, fallback, lambd)
+        self._next = self._records.__next__
+
+    def __iter__(self) -> "Iterator[TraceRecord]":
+        return self
+
+    def __next__(self) -> TraceRecord:
+        return self._next()
+
+    @staticmethod
+    def _record_gen(rnd, compiled, fallback,
+                    lambd) -> Iterator[TraceRecord]:   # simlint: hotpath
+        new = tuple.__new__
+        record_cls = TraceRecord
+        while True:
+            r = rnd()
+            for cum, fast_next in compiled:
+                if r <= cum:
+                    chosen = fast_next
+                    break
+            else:
+                chosen = fallback
+            block, is_write, dependent = chosen()
+            yield new(record_cls, (int(-log(1.0 - rnd()) / lambd),
+                                   block, is_write, dependent))
+
+    @staticmethod
+    def _raw_gen(rnd, compiled,
+                 fallback) -> "Iterator[Tuple[int, bool]]":   # simlint: hotpath
+        while True:
+            r = rnd()
+            for cum, fast_next in compiled:
+                if r <= cum:
+                    chosen = fast_next
+                    break
+            else:
+                chosen = fallback
+            block, is_write, _ = chosen()
+            rnd()   # the gap draw; value unused during warmup
+            yield block, is_write
 
 
 def _region(index: int) -> int:

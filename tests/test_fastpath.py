@@ -1,0 +1,113 @@
+"""A/B equivalence gate: the hot path must be bit-identical to the oracle.
+
+``REPRO_NO_FASTPATH=1`` selects the readable reference implementations
+(the pre-optimization code paths kept as the correctness oracle); unset,
+the hot-path layer engages - the core's analytic clock advance, the
+LLC's inlined tag scan, the compiled trace generators, and the chunked
+functional warmup.  None of that is allowed to change a single bit of
+observable output: every test here runs the same config both ways and
+requires byte-for-byte equality of the serialized results, including a
+full telemetry bundle.
+
+The switch is environment-only by design - it must never influence the
+result cache key, or a cache populated in one mode would leak results
+into the other (which bit-identity makes harmless, but only the tests
+here keep that invariant true).
+"""
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.export import run_result_to_dict
+from repro.hotpath import FASTPATH_ENV, fastpath_enabled
+from repro.sim.config import SimConfig
+from repro.sim.system import run_simulation
+
+POLICIES = ["Norm", "BE-Mellow+SC", "Slow+SC"]
+WORKLOADS = ["hmmer", "lbm"]
+SEEDS = [3, 11]
+
+
+def _set_mode(monkeypatch: pytest.MonkeyPatch, fastpath: bool) -> None:
+    if fastpath:
+        monkeypatch.delenv(FASTPATH_ENV, raising=False)
+    else:
+        monkeypatch.setenv(FASTPATH_ENV, "1")
+
+
+def _run_json(monkeypatch: pytest.MonkeyPatch, config: SimConfig,
+              fastpath: bool) -> str:
+    _set_mode(monkeypatch, fastpath)
+    return json.dumps(run_result_to_dict(run_simulation(config)),
+                      sort_keys=True)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_ab_bit_identity(monkeypatch: pytest.MonkeyPatch, workload: str,
+                         policy: str, seed: int) -> None:
+    """Hit-heavy and mixed workloads across the policy space."""
+    config = SimConfig(workload=workload, policy=policy,
+                       seed=seed).scaled(0.05)
+    assert (_run_json(monkeypatch, config, fastpath=True)
+            == _run_json(monkeypatch, config, fastpath=False))
+
+
+def test_ab_bit_identity_miss_heavy(
+        monkeypatch: pytest.MonkeyPatch) -> None:
+    """gups misses almost always: exercises the miss/stall slow path and
+    the core's clock-ownership rule (analytic advance is only legal when
+    the core owns the outermost event frame)."""
+    config = SimConfig(workload="gups", policy="BE-Mellow+SC",
+                       seed=3).scaled(0.05)
+    assert (_run_json(monkeypatch, config, fastpath=True)
+            == _run_json(monkeypatch, config, fastpath=False))
+
+
+def test_telemetry_bundle_byte_identity(
+        monkeypatch: pytest.MonkeyPatch, tmp_path: Path) -> None:
+    """The full telemetry bundle - metric series, event trace, wear
+    heatmap, manifest - must be byte-for-byte identical across modes.
+    Telemetry timestamps are simulated time, so nothing here may vary."""
+    bundles = {}
+    for mode, fastpath in (("fast", True), ("ref", False)):
+        out = tmp_path / mode
+        config = SimConfig(workload="lbm", policy="BE-Mellow+SC+WQ", seed=3,
+                           telemetry=True,
+                           telemetry_dir=str(out)).scaled(0.05)
+        _set_mode(monkeypatch, fastpath)
+        run_simulation(config)
+        bundles[mode] = {
+            path.name: path.read_bytes() for path in sorted(out.iterdir())
+        }
+    assert bundles["fast"].keys() == bundles["ref"].keys()
+    for name, payload in bundles["fast"].items():
+        assert payload == bundles["ref"][name], f"{name} diverged"
+
+
+def test_fastpath_env_not_in_cache_key(
+        monkeypatch: pytest.MonkeyPatch) -> None:
+    config = SimConfig(workload="lbm", policy="Norm")
+    _set_mode(monkeypatch, fastpath=True)
+    key = config.cache_key()
+    _set_mode(monkeypatch, fastpath=False)
+    assert config.cache_key() == key
+
+
+@pytest.mark.parametrize("value,expected", [
+    ("1", False), ("true", False), ("YES", False), (" on ", False),
+    ("", True), ("0", True), ("off", True), ("no", True),
+])
+def test_fastpath_env_parsing(monkeypatch: pytest.MonkeyPatch,
+                              value: str, expected: bool) -> None:
+    monkeypatch.setenv(FASTPATH_ENV, value)
+    assert fastpath_enabled() is expected
+
+
+def test_fastpath_default_on(monkeypatch: pytest.MonkeyPatch) -> None:
+    monkeypatch.delenv(FASTPATH_ENV, raising=False)
+    assert fastpath_enabled() is True

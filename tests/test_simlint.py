@@ -264,6 +264,102 @@ def test_sim008_suppression():
 
 
 # --------------------------------------------------------------------------
+# SIM009 hotpath-alloc (marker-scoped)
+# --------------------------------------------------------------------------
+
+def test_sim009_flags_lambda_in_hotpath_loop():
+    src = (
+        "def drain(events):   # simlint: hotpath\n"
+        "    for t, bank in events:\n"
+        "        schedule(t, lambda: issue(bank))\n"
+    )
+    assert rule_ids(src) == ["SIM009"]
+
+def test_sim009_flags_nested_def_in_hotpath_loop():
+    src = (
+        "def drain(events):   # simlint: hotpath\n"
+        "    while events:\n"
+        "        def fire():\n"
+        "            events.pop()\n"
+        "        schedule(fire)\n"
+    )
+    assert rule_ids(src) == ["SIM009"]
+
+def test_sim009_flags_lambda_in_hotpath_comprehension():
+    src = (
+        "def compile_all(patterns):   # simlint: hotpath\n"
+        "    return [lambda: p for p in patterns]\n"
+    )
+    assert rule_ids(src) == ["SIM009"]
+
+def test_sim009_marker_on_multiline_signature():
+    src = (
+        "def drain(\n"
+        "    events,\n"
+        ") -> None:   # simlint: hotpath\n"
+        "    for t in events:\n"
+        "        schedule(t, lambda: None)\n"
+    )
+    assert rule_ids(src) == ["SIM009"]
+
+def test_sim009_ignores_unmarked_functions():
+    src = (
+        "def drain(events):\n"
+        "    for t, bank in events:\n"
+        "        schedule(t, lambda: issue(bank))\n"
+    )
+    assert rule_ids(src) == []
+
+def test_sim009_lambda_outside_loop_is_fine():
+    # One closure per *call* is the compile-once idiom the hot paths use
+    # (Pattern.compile_fast); only per-iteration allocation is the hazard.
+    src = (
+        "def compile_fast(self, rng):   # simlint: hotpath\n"
+        "    rnd = rng.random\n"
+        "    return lambda: rnd()\n"
+    )
+    assert rule_ids(src) == []
+
+def test_sim009_for_iterable_is_evaluated_once():
+    # A sort key in the iterable expression runs before the loop starts.
+    src = (
+        "def drain(events):   # simlint: hotpath\n"
+        "    for t in sorted(events, key=lambda e: e.t):\n"
+        "        fire(t)\n"
+    )
+    assert rule_ids(src) == []
+
+def test_sim009_while_test_reevaluates_per_iteration():
+    src = (
+        "def drain(events):   # simlint: hotpath\n"
+        "    while any(map(lambda e: e.ready, events)):\n"
+        "        fire(events.pop())\n"
+    )
+    assert rule_ids(src) == ["SIM009"]
+
+def test_sim009_marker_does_not_leak_into_nested_defs():
+    # The nested helper is its own scope: unless it is itself marked, its
+    # loops are not hotpath loops.
+    src = (
+        "def outer():   # simlint: hotpath\n"
+        "    def helper(items):\n"
+        "        for item in items:\n"
+        "            use(lambda: item)\n"
+        "    return helper\n"
+    )
+    assert rule_ids(src) == []
+
+def test_sim009_suppression():
+    src = (
+        "def drain(events):   # simlint: hotpath\n"
+        "    for t, bank in events:\n"
+        "        schedule(t, lambda: issue(bank))"
+        "   # simlint: ignore[SIM009] -- cold error path\n"
+    )
+    assert rule_ids(src) == []
+
+
+# --------------------------------------------------------------------------
 # Suppression syntax details
 # --------------------------------------------------------------------------
 
