@@ -5,8 +5,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint simlint typecheck test sanitize bench-sanitizer \
-	trace-demo bench-telemetry bench-hotpath
+.PHONY: check lint simlint typecheck test sanitize coverage \
+	bench-sanitizer trace-demo bench-telemetry bench-hotpath
 
 check: lint simlint typecheck test
 	@echo "check: all gates passed"
@@ -30,6 +30,15 @@ test:
 # Run the tier-1 suite with the runtime sanitizer armed everywhere.
 sanitize:
 	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q
+
+# Statement coverage with the same floor CI enforces (the floor lives
+# here so local runs and the CI coverage job can never disagree).
+COV_FLOOR ?= 90
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; \
+	then $(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing \
+		--cov-fail-under=$(COV_FLOOR); \
+	else echo "coverage: pytest-cov not installed, skipping (CI runs it)"; fi
 
 # Sanitizer overhead + bit-identity report.
 bench-sanitizer:

@@ -30,8 +30,35 @@ from repro.sim.config import SimConfig
 from repro.workloads.profiles import PROFILES, WORKLOAD_NAMES
 
 
+class CLIError(Exception):
+    """A user-input problem worth one clear line on stderr, not a traceback.
+
+    Raised by command handlers for bad workload/policy names and similar;
+    ``main`` catches it, prints the message, and exits 1.
+    """
+
+
+def _validate_workload(name: str) -> str:
+    from repro.workloads.mix import MIXES
+    if name not in PROFILES and name not in MIXES:
+        known = ", ".join(list(WORKLOAD_NAMES) + sorted(MIXES))
+        raise CLIError(f"unknown workload {name!r} (known: {known})")
+    return name
+
+
+def _validate_policy(name: str) -> str:
+    try:
+        parse_policy(name)
+    except ValueError as error:
+        raise CLIError(str(error)) from None
+    return name
+
+
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--workload", required=True, choices=WORKLOAD_NAMES)
+    # Workload names are validated in _config_from_args (not argparse
+    # choices) so mixes work and typos get one clear line, exit code 1.
+    parser.add_argument("--workload", required=True,
+                        help="workload or mix name (see 'repro list')")
     parser.add_argument("--policy", default="Norm",
                         help="Table III policy name, e.g. BE-Mellow+SC+WQ")
     parser.add_argument("--slow-factor", type=float,
@@ -50,8 +77,8 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
 def _config_from_args(args: argparse.Namespace, workload: str,
                       policy: str) -> SimConfig:
     kwargs = dict(
-        workload=workload,
-        policy=policy,
+        workload=_validate_workload(workload),
+        policy=_validate_policy(policy),
         slow_factor=args.slow_factor,
         num_banks=args.banks,
         num_ranks=args.ranks,
@@ -209,12 +236,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     policies = (args.policies.split(",") if args.policies
                 else list(PAPER_POLICY_NAMES))
     for name in policies:
-        parse_policy(name)   # fail fast on typos
-    from repro.workloads.mix import MIXES
+        _validate_policy(name)   # fail fast on typos
     for workload in workloads:
-        if workload not in PROFILES and workload not in MIXES:
-            print(f"unknown workload: {workload}", file=sys.stderr)
-            return 2
+        _validate_workload(workload)
     configs = [
         _config_from_args(args, workload, policy)
         for workload in workloads for policy in policies
@@ -309,6 +333,42 @@ def cmd_compare(args: argparse.Namespace) -> int:
     candidate = _config_from_args(args, args.workload, args.policy)
     table = compare_configs(baseline, candidate, Runner())
     _emit_table(table, args.output)
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Monte Carlo lifetime-to-failure comparison under fault injection."""
+    from repro.analysis.charts import bar_chart
+    from repro.experiments.faults import (
+        DEFAULT_MC_SCALE,
+        SURVIVAL_POLICIES,
+        survival_summary,
+    )
+    if args.seeds < 1:
+        raise CLIError(f"--seeds must be >= 1, got {args.seeds}")
+    policies = (args.policies.split(",") if args.policies
+                else list(SURVIVAL_POLICIES))
+    for name in policies:
+        _validate_policy(name)
+    _validate_workload(args.workload)
+    table = survival_summary(
+        runner=Runner(), workload=args.workload, policies=policies,
+        seeds=args.seeds,
+        scale=args.scale if args.scale is not None else DEFAULT_MC_SCALE,
+        jobs=args.jobs,
+        progress=None if args.quiet else _print_progress,
+    )
+    print(render(table))
+    print()
+    survival = {str(row[0]): float(row[2]) for row in table.rows}
+    print(bar_chart(
+        [(policy, survival[policy]) for policy in policies],
+        unit=" ns",
+    ))
+    if args.output:
+        from repro.analysis.export import write_table
+        path = write_table(table, args.output)
+        print(f"\nwrote {path}")
     return 0
 
 
@@ -455,6 +515,30 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="also export to .csv or .json")
     compare_parser.set_defaults(handler=cmd_compare)
 
+    faults_parser = subparsers.add_parser(
+        "faults", help="Monte Carlo lifetime-to-failure under fault "
+                       "injection (accelerated aging)",
+    )
+    faults_parser.add_argument("--workload", default="zeusmp",
+                               help="workload or mix name (default zeusmp)")
+    faults_parser.add_argument("--policies", default=None,
+                               help="comma separated (default "
+                                    "Norm,BE-Mellow+SC,Slow+SC)")
+    faults_parser.add_argument("--seeds", type=int, default=20,
+                               help="Monte Carlo samples per policy "
+                                    "(default 20)")
+    faults_parser.add_argument("--scale", type=float, default=None,
+                               help="window scale for each sample "
+                                    "(default 0.02)")
+    faults_parser.add_argument("--jobs", type=int, default=None,
+                               help="parallel workers (default REPRO_JOBS "
+                                    "or all cores)")
+    faults_parser.add_argument("--quiet", action="store_true",
+                               help="suppress per-run progress on stderr")
+    faults_parser.add_argument("--output", default=None,
+                               help="also export the table to .csv or .json")
+    faults_parser.set_defaults(handler=cmd_faults)
+
     list_parser = subparsers.add_parser(
         "list", help="list workloads, policies, figures",
     )
@@ -472,7 +556,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except CLIError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -26,7 +26,9 @@ deterministic lifetime the simulator reports.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
+from typing import List
 
 from repro import params
 
@@ -113,6 +115,24 @@ class EnduranceVariability:
         dies, so the lifetime scales by weakest/median.
         """
         return self.weakest_block_endurance(num_blocks) / self.median_endurance
+
+    def sample_cell_limits(self, rng: random.Random, count: int) -> List[float]:
+        """Draw ``count`` per-cell endurance limits from the distribution.
+
+        The order-statistics methods above answer expectation questions
+        without sampling; the fault injector (:mod:`repro.faults`) needs
+        actual per-cell limits, so it draws them here from its injected
+        seeded generator.  ``sigma == 0`` degenerates to the
+        deterministic model - every cell at the median - without
+        consuming any randomness, keeping deterministic configs
+        byte-stable however often they are sampled.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if self.sigma == 0.0:
+            return [self.median_endurance] * count
+        mu = math.log(self.median_endurance)
+        return [rng.lognormvariate(mu, self.sigma) for _ in range(count)]
 
     def ecc_gain(self, num_blocks: int) -> float:
         """Lifetime multiplier from tolerating failures vs tolerating none."""

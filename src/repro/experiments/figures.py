@@ -23,6 +23,7 @@ from repro.analysis.report import Table
 from repro.core.policies import PAPER_POLICY_NAMES
 from repro.endurance.model import EnduranceModel
 from repro.energy.nvsim import table_vi_rows
+from repro.experiments.faults import figfaults_survival
 from repro.experiments.runner import Runner, default_runner, selected_workloads
 from repro.sim.config import SimConfig
 from repro.sim.stats import RunResult
@@ -466,4 +467,5 @@ ALL_FIGURES = {
     "fig17": fig17_expo_sensitivity,
     "fig18": fig18_bank_sensitivity,
     "fig19": fig19_vs_static,
+    "figfaults": figfaults_survival,
 }

@@ -48,7 +48,7 @@ logger = logging.getLogger(__name__)
 
 #: Bump whenever the on-disk entry layout or RunResult serialisation
 #: changes; entries with any other version re-simulate.
-CACHE_SCHEMA_VERSION = 2
+CACHE_SCHEMA_VERSION = 3
 
 #: RunResult fields with structured (non-scalar) serialisations.
 _COMPOSITE_FIELDS = ("bank_utilizations", "wear_records")

@@ -1,0 +1,134 @@
+"""SECDED extended Hamming code (single-error-correct, double-detect).
+
+This is the real encoder/decoder, not a probability model: the
+property-based tests round-trip arbitrary data words, flip bits, and
+check the correct/detect contract bit by bit.  The fault injector uses
+only the code's *capability* constants (:data:`CORRECTABLE_BITS`,
+:data:`DETECTABLE_BITS`) on its hot path - per-write encode/decode of
+actual line contents would dominate simulation time for no added model
+fidelity - so this module is the executable specification of what the
+injector's outcome ladder assumes.
+
+Layout (the classic extended Hamming construction, e.g. (72, 64) for
+64-bit words): codeword bit positions are 1-indexed; positions that are
+powers of two hold parity bits, the rest hold data bits in ascending
+order; position 0 holds the overall parity bit that upgrades SEC to
+SECDED.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+#: Errors per codeword the code corrects / detects.
+CORRECTABLE_BITS = 1
+DETECTABLE_BITS = 2
+
+STATUS_CLEAN = "clean"
+STATUS_CORRECTED = "corrected"
+STATUS_DETECTED = "detected"
+
+
+def parity_bit_count(data_bits: int) -> int:
+    """Hamming parity bits needed for ``data_bits`` (excl. overall parity)."""
+    if data_bits < 1:
+        raise ValueError("data_bits must be >= 1")
+    count = 0
+    while (1 << count) < data_bits + count + 1:
+        count += 1
+    return count
+
+
+def codeword_length(data_bits: int) -> int:
+    """Total codeword bits, including the overall-parity bit at position 0."""
+    return data_bits + parity_bit_count(data_bits) + 1
+
+
+def _data_positions(data_bits: int) -> List[int]:
+    """1-indexed codeword positions of the data bits (non powers of two)."""
+    positions: List[int] = []
+    pos = 1
+    while len(positions) < data_bits:
+        if pos & (pos - 1):
+            positions.append(pos)
+        pos += 1
+    return positions
+
+
+def _extract_data(word: int, data_bits: int) -> int:
+    data = 0
+    for index, pos in enumerate(_data_positions(data_bits)):
+        if (word >> pos) & 1:
+            data |= 1 << index
+    return data
+
+
+def encode(data: int, data_bits: int = 64) -> int:
+    """Encode ``data`` into an extended Hamming codeword."""
+    if data < 0:
+        raise ValueError("data must be non-negative")
+    if data >> data_bits:
+        raise ValueError(f"data does not fit in {data_bits} bits")
+    total = data_bits + parity_bit_count(data_bits)
+    word = 0
+    for index, pos in enumerate(_data_positions(data_bits)):
+        if (data >> index) & 1:
+            word |= 1 << pos
+    # Each parity bit at position 2^i makes the XOR over every position
+    # with bit i set (itself included) come out even.
+    for i in range(parity_bit_count(data_bits)):
+        mask = 1 << i
+        parity = 0
+        for pos in range(1, total + 1):
+            if pos & mask and (word >> pos) & 1:
+                parity ^= 1
+        if parity:
+            word |= 1 << mask
+    # Overall parity (position 0) makes the whole codeword even-parity.
+    if bin(word).count("1") & 1:
+        word |= 1
+    return word
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of decoding one codeword.
+
+    Attributes:
+        data: recovered data word; -1 when ``status`` is "detected"
+            (a double-bit error is reported, never silently 'fixed').
+        status: one of STATUS_CLEAN / STATUS_CORRECTED / STATUS_DETECTED.
+        corrected_position: codeword bit position that was flipped back
+            (0 = the overall parity bit itself); -1 when nothing was.
+    """
+
+    data: int
+    status: str
+    corrected_position: int = -1
+
+
+def decode(codeword: int, data_bits: int = 64) -> DecodeResult:
+    """Decode a codeword, correcting <= 1 bit and detecting 2-bit errors."""
+    total = data_bits + parity_bit_count(data_bits)
+    if codeword < 0:
+        raise ValueError("codeword must be non-negative")
+    if codeword >> (total + 1):
+        raise ValueError(f"codeword does not fit in {total + 1} bits")
+    syndrome = 0
+    for pos in range(1, total + 1):
+        if (codeword >> pos) & 1:
+            syndrome ^= pos
+    overall_odd = bin(codeword).count("1") & 1
+    if syndrome == 0 and not overall_odd:
+        return DecodeResult(_extract_data(codeword, data_bits), STATUS_CLEAN)
+    if overall_odd:
+        # Exactly one bit flipped; the syndrome is its position (0 means
+        # the overall-parity bit itself took the hit).
+        repaired = codeword ^ (1 << syndrome)
+        return DecodeResult(
+            _extract_data(repaired, data_bits), STATUS_CORRECTED, syndrome,
+        )
+    # Non-zero syndrome with consistent overall parity: an even number of
+    # flips happened - uncorrectable, but reliably detected.
+    return DecodeResult(-1, STATUS_DETECTED)

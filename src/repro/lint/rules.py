@@ -31,6 +31,10 @@ Rule index:
   every iteration of a loop inside a function marked ``# simlint:
   hotpath``; closure allocation is exactly the overhead those functions
   exist to avoid (hoist the callable or prebind a method).
+* ``SIM010`` faults-direct-random - any ``random.*`` call (even a seeded
+  ``random.Random(n)``) or ``from random import ...`` inside
+  ``repro.faults``; fault randomness must flow through the injected
+  generator so every draw is attributable to the run's seed.
 """
 
 from __future__ import annotations
@@ -127,6 +131,16 @@ RULES: Dict[str, RuleInfo] = {
                  "closure allocation is the overhead hotpath functions "
                  "exist to avoid",
         ),
+        RuleInfo(
+            rule_id="SIM010",
+            name="faults-direct-random",
+            severity="error",
+            summary="direct use of the random module inside repro.faults; "
+                    "fault randomness must come from the injected RNG",
+            hint="take a random.Random parameter (System seeds one from "
+                 "the config) and draw from it; 'import random' purely "
+                 "for type annotations stays legal",
+        ),
     )
 }
 
@@ -191,6 +205,17 @@ TELEMETRY_BANNED_MODULES = frozenset({"time", "datetime"})
 _TELEMETRY_PATH_FRAGMENT = "repro/telemetry/"
 
 # --------------------------------------------------------------------------
+# SIM010: fault randomness flows through the injected generator only
+# --------------------------------------------------------------------------
+
+#: Normalized path fragment that marks a file as part of the fault
+#: injection package.  Inside it, every draw must come from the
+#: ``random.Random`` that ``System`` seeds from the config - a stray
+#: ``random.Random(42)`` would be deterministic but *unattributable* to
+#: the run's seed, silently decoupling fault outcomes from SimConfig.
+_FAULTS_PATH_FRAGMENT = "repro/faults/"
+
+# --------------------------------------------------------------------------
 # SIM009: hotpath functions must not allocate closures per iteration
 # --------------------------------------------------------------------------
 
@@ -203,6 +228,11 @@ HOTPATH_MARKER = "simlint: hotpath"
 def is_telemetry_path(path: str) -> bool:
     """True when ``path`` lies inside ``src/repro/telemetry/``."""
     return _TELEMETRY_PATH_FRAGMENT in path.replace("\\", "/")
+
+
+def is_faults_path(path: str) -> bool:
+    """True when ``path`` lies inside ``src/repro/faults/``."""
+    return _FAULTS_PATH_FRAGMENT in path.replace("\\", "/")
 
 
 def unit_of_identifier(name: str) -> Optional[str]:
@@ -266,6 +296,7 @@ class _RuleVisitor(ast.NodeVisitor):
         self.path = path
         self.emit = emit
         self.in_telemetry = is_telemetry_path(path)
+        self.in_faults = is_faults_path(path)
         self.source_lines = source_lines if source_lines is not None else []
         # SIM009 state: whether the innermost enclosing function carries
         # the hotpath marker, and how many per-iteration loop scopes deep
@@ -288,6 +319,7 @@ class _RuleVisitor(ast.NodeVisitor):
             self._check_random_call(node, dotted)
             self._check_wall_clock_call(node, dotted)
             self._check_telemetry_clock_call(node, dotted)
+            self._check_faults_random_call(node, dotted)
         self.generic_visit(node)
 
     @staticmethod
@@ -364,7 +396,26 @@ class _RuleVisitor(ast.NodeVisitor):
                     "SIM008", node,
                     f"import from {node.module!r} inside repro.telemetry",
                 )
+        if self.in_faults and node.module == "random":
+            # 'from random import X' would let X() dodge the dotted-call
+            # check below; 'import random' (annotations) stays legal.
+            self.emit(
+                "SIM010", node,
+                "from-import of the random module inside repro.faults",
+            )
         self.generic_visit(node)
+
+    # -- SIM010 --------------------------------------------------------
+
+    def _check_faults_random_call(self, node: ast.Call,
+                                  dotted: Tuple[str, ...]) -> None:
+        if not self.in_faults or dotted[0] != "random" or len(dotted) < 2:
+            return
+        self.emit(
+            "SIM010", node,
+            f"{'.'.join(dotted)}() inside repro.faults bypasses the "
+            "injected seeded generator",
+        )
 
     # -- SIM004 / SIM007 ----------------------------------------------
 

@@ -40,7 +40,8 @@ class Bank:
     """
 
     __slots__ = ("index", "open_row", "busy_until", "in_flight",
-                 "busy_time_ns", "ops_begun", "ops_cancelled")
+                 "busy_time_ns", "ops_begun", "ops_cancelled",
+                 "lines_retired")
 
     def __init__(self, index: int) -> None:
         self.index = index
@@ -52,6 +53,9 @@ class Bank:
         # and cheap enough (one integer add) to keep unconditionally.
         self.ops_begun = 0
         self.ops_cancelled = 0
+        # Lines this bank has retired into its spare region (fault
+        # injection); stays 0 when the subsystem is disabled.
+        self.lines_retired = 0
 
     def is_idle(self, now: float) -> bool:
         return now >= self.busy_until

@@ -27,6 +27,8 @@ from repro.core.decision import choose_write_factor
 from repro.core.policies import WritePolicy
 from repro.core.wear_quota import WearQuota
 from repro.endurance.wear import WearTracker
+from repro.faults.injector import (WRITE_FATAL, WRITE_OK, WRITE_RETIRED,
+                                   WRITE_RETRY, FaultInjector)
 from repro.lint.sanitize import check, close_enough, resolve
 from repro.memory.address import AddressMap
 from repro.memory.bank import Bank, InFlight
@@ -34,8 +36,10 @@ from repro.memory.queues import EAGER, READ, WRITE, Request, RequestQueue
 from repro.memory.rank import RankFawLimiter
 from repro.memory.timing import MemoryTiming
 from repro.sim.events import EventQueue
-from repro.telemetry import (EV_CANCEL, EV_COMPLETE, EV_DRAIN_ENTER,
-                             EV_DRAIN_EXIT, EV_ENQUEUE, EV_ISSUE, EV_PAUSE,
+from repro.telemetry import (EV_CANCEL, EV_CELL_FAIL, EV_COMPLETE,
+                             EV_DRAIN_ENTER, EV_DRAIN_EXIT, EV_ENQUEUE,
+                             EV_ISSUE, EV_LINE_RETIRE, EV_PAUSE,
+                             EV_UNCORRECTABLE, EV_VERIFY_RETRY,
                              NULL_TELEMETRY, Telemetry)
 from repro.telemetry.metrics import Counter, bank_metric_name
 
@@ -137,6 +141,8 @@ class MemoryController:
         read_scheduler: str = "fcfs",
         sanitize: Optional[bool] = None,
         telemetry: Telemetry = NULL_TELEMETRY,
+        faults: Optional[FaultInjector] = None,
+        on_fatal: Optional[Callable[[float], None]] = None,
     ) -> None:
         self.events = events
         self.policy = policy
@@ -209,6 +215,11 @@ class MemoryController:
         # Optional per-write damage multiplier in (0, 1]; Flip-N-Write uses
         # it to model the fraction of cells actually programmed.
         self.wear_scaler = wear_scaler
+        # Fault injection: the injector ages cells alongside the wear
+        # tracker and arbitrates write-verify outcomes at completion;
+        # on_fatal fires once when an uncorrectable error ends the run.
+        self.faults = faults
+        self.on_fatal = on_fatal
         self._write_space_waiters: List[Callable[[], None]] = []
         self._read_space_waiters: List[Callable[[], None]] = []
         # Wear-conservation cross-check (sanitize mode): the controller
@@ -474,6 +485,12 @@ class MemoryController:
             # Resuming a paused write: the pulse speed is committed; only
             # the remaining pulse time is paid.
             factor = request.speed_factor
+        elif request.retries > 0:
+            # Write-verify retry: re-issue on the Mellow Writes slow path
+            # regardless of policy - a longer pulse is the device's best
+            # shot at programming marginal cells (and wears them least).
+            factor = self.timing.slow_factor
+            request.speed_factor = factor
         else:
             factor = choose_write_factor(
                 self.policy,
@@ -575,9 +592,57 @@ class MemoryController:
                 self.events.now, EV_COMPLETE, bank=bank.index,
                 block=request.block, req_id=request.req_id,
                 factor=request.speed_factor, detail=request.kind)
+        if self.faults is not None:
+            outcome = self.faults.verify_write(
+                request.bank, self.amap.bank_local_block(request.block),
+                request.retries,
+            )
+            if outcome != WRITE_OK and self._handle_fault_outcome(
+                    bank, request, outcome):
+                # Re-issued as a verify retry: completion (and the
+                # callback) is deferred until the retry finishes.
+                return
         if request.callback is not None:
             request.callback(self.events.now)
         self._try_issue_bank(bank.index)
+
+    def _handle_fault_outcome(self, bank: Bank, request: Request,
+                              outcome: str) -> bool:
+        """Apply a non-OK write-verify outcome; True = write re-issued."""
+        now = self.events.now
+        ts = self._ts
+        if outcome == WRITE_RETRY:
+            request.retries += 1
+            request.progress_ns = 0.0
+            if ts is not None:
+                ts.record(
+                    now, EV_VERIFY_RETRY, bank=bank.index,
+                    block=request.block, req_id=request.req_id,
+                    factor=request.speed_factor,
+                    detail=f"retry={request.retries}")
+            # The bank just freed up, so the retry starts immediately -
+            # no queue round trip, which also means a full write queue
+            # can never strand a retry.
+            self._issue_write(bank, request)
+            return True
+        if outcome == WRITE_RETIRED:
+            bank.lines_retired += 1
+            if ts is not None:
+                ts.record(
+                    now, EV_LINE_RETIRE, bank=bank.index,
+                    block=request.block, req_id=request.req_id,
+                    detail=request.kind)
+        elif outcome == WRITE_FATAL:
+            if ts is not None:
+                ts.record(
+                    now, EV_UNCORRECTABLE, bank=bank.index,
+                    block=request.block, req_id=request.req_id,
+                    detail=request.kind)
+            if self.on_fatal is not None:
+                self.on_fatal(now)
+        # WRITE_CORRECTED needs no controller action: the injector has
+        # already counted it, and ECC repaired the line in place.
+        return False
 
     def _record_wear(self, request: Request, fraction: float) -> None:
         factor = request.speed_factor
@@ -601,6 +666,15 @@ class MemoryController:
         if self.quota is not None:
             damage = self.wear.model.damage_per_write(factor) * fraction
             self.quota.record_wear(request.bank, damage)
+        if self.faults is not None:
+            newly_dead = self.faults.record_damage(
+                request.bank, local, factor, fraction,
+            )
+            if newly_dead and self._ts is not None:
+                self._ts.record(
+                    self.events.now, EV_CELL_FAIL, bank=request.bank,
+                    block=request.block, req_id=request.req_id,
+                    factor=factor, detail=f"cells={newly_dead}")
 
     def _notify_write_space(self) -> None:
         while self._write_space_waiters and not self.write_q.full:

@@ -42,6 +42,8 @@ class Request:
         callback: invoked with the completion time (reads and writes alike).
         attempts: times the request has been issued to a bank (cancellations
             re-issue, so attempts can exceed 1).
+        retries: write-verify retries consumed (fault injection); each
+            retry re-issues the write on the slow path from scratch.
         speed_factor: write slowdown chosen at issue time (1.0 = normal
             speed; meaningless for reads).  The derived :attr:`slow`
             property reports whether that puts the write below normal speed.
@@ -58,6 +60,7 @@ class Request:
     arrival_ns: float
     callback: Optional[Callable[[float], None]] = None
     attempts: int = 0
+    retries: int = 0
     speed_factor: float = 1.0
     progress_ns: float = 0.0
     req_id: int = field(default_factory=lambda: next(_request_ids))

@@ -9,6 +9,7 @@ from typing import Any, Optional, Tuple, Union
 
 from repro import params
 from repro.core.policies import WritePolicy, parse_policy
+from repro.faults.config import FaultConfig
 
 
 def digest_for_key(key: Any) -> str:
@@ -74,6 +75,11 @@ class SimConfig:
     telemetry: bool = False
     telemetry_dir: Optional[str] = None
     telemetry_trace_capacity: int = 65536
+    # Fault injection (repro.faults).  None (the default) disables the
+    # subsystem entirely; disabled runs are bit-identical to a build
+    # without it, and cache_key() only grows the fault term when this is
+    # set, so pre-existing cache digests never change.
+    faults: Optional[FaultConfig] = None
 
     def __post_init__(self) -> None:
         if self.warmup_accesses < 0 or self.measure_accesses < 1:
@@ -107,7 +113,7 @@ class SimConfig:
 
     def cache_key(self) -> Tuple[Any, ...]:
         """Hashable identity for result caching."""
-        return (
+        key: Tuple[Any, ...] = (
             self.workload, self.policy_name, self.slow_factor,
             self.num_banks, self.num_ranks, self.expo_factor,
             self.capacity_bytes, self.warmup_accesses,
@@ -121,6 +127,11 @@ class SimConfig:
             self.functional_warmup_occupancy, self.dram_buffer_entries,
             self.page_policy, self.read_scheduler,
         )
+        if self.faults is not None:
+            # Appended only when enabled: the default key (and therefore
+            # every pre-fault cache digest) stays byte-identical.
+            key = key + (self.faults.key(),)
+        return key
 
     def cache_digest(self) -> str:
         """Filename-safe digest of :meth:`cache_key` (see digest_for_key)."""

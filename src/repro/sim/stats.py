@@ -63,6 +63,20 @@ class RunResult:
     blocks_per_bank: int = 0
     leveling_efficiency: float = params.START_GAP_EFFICIENCY
 
+    # Fault injection (repro.faults).  All zeros/sentinels when the
+    # subsystem is disabled (faults=None), keeping old serialisations
+    # semantically unchanged.  The *_ns times are absolute simulated
+    # times from the start of the timed run (-1.0 = never happened; a
+    # finite sentinel, not inf, so the JSON round trip stays exact).
+    faults_enabled: bool = False
+    uncorrectable: bool = False
+    time_to_first_failure_ns: float = -1.0
+    time_to_uncorrectable_ns: float = -1.0
+    cells_failed: int = 0
+    lines_retired: int = 0
+    fault_write_retries: int = 0
+    ecc_corrected_writes: int = 0
+
     @property
     def total_energy_pj(self) -> float:
         return self.read_energy_pj + self.write_energy_pj

@@ -9,7 +9,9 @@ utilization, drain time, request breakdowns and energy.
 
 from __future__ import annotations
 
+import json
 import random
+import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING, List, Optional, Union
 
@@ -20,6 +22,7 @@ from repro.endurance.model import EnduranceModel
 from repro.endurance.flipnwrite import FlipNWrite
 from repro.endurance.wear import WearTracker
 from repro.energy.nvsim import LineEnergyModel
+from repro.faults.injector import FaultInjector
 from repro.lint.sanitize import env_enabled
 from repro.memory.address import AddressMap
 from repro.memory.controller import MemoryController
@@ -115,6 +118,21 @@ class System:
             self.flip_n_write = FlipNWrite(
                 rng=random.Random(config.seed * 104729 + 7),
             )
+        self.faults: Optional[FaultInjector] = None
+        if config.faults is not None:
+            # Derive the fault stream's seed from the run seed plus the
+            # fault parameters, the same crc32-of-canonical-JSON idiom the
+            # workload generators use: stable across processes (SIM001)
+            # and decoupled from the LLC/Flip-N-Write streams.
+            material = json.dumps(
+                ["faults", config.seed, list(config.faults.key())])
+            self.faults = FaultInjector(
+                config=config.faults,
+                num_banks=config.num_banks,
+                model=self.endurance,
+                rng=random.Random(zlib.crc32(material.encode())),
+                clock=lambda: self.events.now,
+            )
         self.controller = MemoryController(
             events=self.events,
             policy=policy,
@@ -131,6 +149,8 @@ class System:
             read_scheduler=config.read_scheduler,
             sanitize=self.sanitize,
             telemetry=self.telemetry,
+            faults=self.faults,
+            on_fatal=self._on_fault_fatal if self.faults is not None else None,
         )
         self.dram_buffer: Optional[DramWriteBuffer] = None
         if config.dram_buffer_entries > 0:
@@ -185,6 +205,24 @@ class System:
             metrics.probe(bank_metric_name(bank.index, "ops_cancelled"),
                           lambda b=bank: float(b.ops_cancelled))
         tel.set_wear_probe(self.wear.bank_damages)
+        injector = self.faults
+        if injector is not None:
+            stats = injector.stats
+            metrics.probe("faults.cells_failed",
+                          lambda: float(stats.cells_failed))
+            metrics.probe("faults.write_retries",
+                          lambda: float(stats.write_retries))
+            metrics.probe("faults.corrected_writes",
+                          lambda: float(stats.corrected_writes))
+            metrics.probe("faults.lines_retired",
+                          lambda: float(stats.lines_retired))
+            metrics.probe("faults.spare_lines_left",
+                          lambda: float(injector.total_spares_left()))
+            for bank in ctrl.banks:
+                metrics.probe(bank_metric_name(bank.index, "lines_retired"),
+                              lambda b=bank: float(b.lines_retired))
+            tel.set_retired_probe(
+                lambda: [float(b.lines_retired) for b in ctrl.banks])
 
     # ------------------------------------------------------------------
     # DRAM write buffer
@@ -256,6 +294,23 @@ class System:
             # schedule (never inline) gap events, so the run ends with the
             # same pending-event state as a forced-off run.
             self.core.stop_requested = True
+
+    def _on_fault_fatal(self, now: float) -> None:
+        """An uncorrectable error: end the run gracefully at ``now``.
+
+        The measurement window is closed where the failure happened, so
+        :meth:`_collect` still produces a full RunResult - with
+        ``uncorrectable`` set and the terminal time recorded - instead
+        of the run crashing.  A failure during timed warmup anchors the
+        window at time zero so the window stays non-empty.
+        """
+        if self._done:
+            return
+        if self._measure_start_ns is None:
+            self._measure_start_ns = 0.0
+        self._measure_end_ns = now
+        self._done = True
+        self.core.stop_requested = True
 
     def _end_warmup(self) -> None:
         self._measure_start_ns = self.events.now
@@ -430,7 +485,7 @@ class System:
             for factor, count in record.slow_writes_by_factor.items():
                 write_energy += count * energy_model.write_energy_pj_for(factor)
 
-        return RunResult(
+        result = RunResult(
             workload=config.workload,
             policy=config.policy_name,
             slow_factor=config.slow_factor,
@@ -468,6 +523,23 @@ class System:
             blocks_per_bank=self.amap.blocks_per_bank,
             leveling_efficiency=config.leveling_efficiency,
         )
+        injector = self.faults
+        if injector is not None:
+            # Times are absolute simulated ns since the start of the timed
+            # run (survival times, spanning warmup by design); -1.0 marks
+            # an event that never happened, a JSON-exact sentinel.
+            fstats = injector.stats
+            result.faults_enabled = True
+            result.uncorrectable = fstats.uncorrectable
+            if fstats.first_failure_ns is not None:
+                result.time_to_first_failure_ns = fstats.first_failure_ns
+            if fstats.uncorrectable_ns is not None:
+                result.time_to_uncorrectable_ns = fstats.uncorrectable_ns
+            result.cells_failed = fstats.cells_failed
+            result.lines_retired = fstats.lines_retired
+            result.fault_write_retries = fstats.write_retries
+            result.ecc_corrected_writes = fstats.corrected_writes
+        return result
 
 
 def run_simulation(config: SimConfig) -> RunResult:

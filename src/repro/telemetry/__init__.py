@@ -19,10 +19,12 @@ from repro.telemetry.heatmap import WearHeatmap
 from repro.telemetry.metrics import (READ_LATENCY_BUCKETS_NS, Counter, Gauge,
                                      Histogram, MetricRegistry,
                                      bank_metric_name)
-from repro.telemetry.tracer import (EV_CANCEL, EV_COMPLETE, EV_DRAIN_ENTER,
-                                    EV_DRAIN_EXIT, EV_EAGER_DEMOTE,
-                                    EV_ENQUEUE, EV_ISSUE, EV_PAUSE, EV_PHASE,
-                                    EV_QUOTA_TRIP, EVENT_KINDS, EventTracer,
+from repro.telemetry.tracer import (EV_CANCEL, EV_CELL_FAIL, EV_COMPLETE,
+                                    EV_DRAIN_ENTER, EV_DRAIN_EXIT,
+                                    EV_EAGER_DEMOTE, EV_ENQUEUE, EV_ISSUE,
+                                    EV_LINE_RETIRE, EV_PAUSE, EV_PHASE,
+                                    EV_QUOTA_TRIP, EV_UNCORRECTABLE,
+                                    EV_VERIFY_RETRY, EVENT_KINDS, EventTracer,
                                     TraceEvent, chrome_trace)
 
 __all__ = [
@@ -33,6 +35,7 @@ __all__ = [
     "EventTracer", "TraceEvent", "chrome_trace", "EVENT_KINDS",
     "EV_ENQUEUE", "EV_ISSUE", "EV_COMPLETE", "EV_CANCEL", "EV_PAUSE",
     "EV_DRAIN_ENTER", "EV_DRAIN_EXIT", "EV_QUOTA_TRIP", "EV_EAGER_DEMOTE",
-    "EV_PHASE",
+    "EV_PHASE", "EV_CELL_FAIL", "EV_VERIFY_RETRY", "EV_LINE_RETIRE",
+    "EV_UNCORRECTABLE",
     "WearHeatmap",
 ]

@@ -83,11 +83,18 @@ class Telemetry:
         self.metrics = MetricRegistry()
         self.tracer = EventTracer(capacity=trace_capacity)
         self.heatmap = WearHeatmap(num_banks)
+        # Retired-line heatmap (fault injection): same epoch cadence as
+        # the wear heatmap, rows of per-bank retired-line counts.  Stays
+        # inert (no probe, no rows) unless faults are enabled.
+        self.retired_heatmap = WearHeatmap(num_banks)
 
     # -- wiring ---------------------------------------------------------
 
     def set_wear_probe(self, probe: Callable[[], Sequence[float]]) -> None:
         self.heatmap.set_probe(probe)
+
+    def set_retired_probe(self, probe: Callable[[], Sequence[float]]) -> None:
+        self.retired_heatmap.set_probe(probe)
 
     # -- epoch boundary -------------------------------------------------
 
@@ -101,6 +108,7 @@ class Telemetry:
         t = self.clock() if now_ns is None else now_ns
         self.metrics.sample(t)
         self.heatmap.snapshot(t)
+        self.retired_heatmap.snapshot(t)   # no-op without a probe
 
     # -- export ---------------------------------------------------------
 
@@ -130,8 +138,13 @@ class Telemetry:
         written.append(metrics_path)
 
         heatmap_path = out_dir / "heatmap.json"
+        heatmap_payload = self.heatmap.to_dict()
+        if self.retired_heatmap.active:
+            # Only fault-enabled runs grow this key, so bundles from
+            # ordinary runs stay byte-identical to earlier versions.
+            heatmap_payload["retired"] = self.retired_heatmap.to_dict()
         _atomic_write_text(heatmap_path, json.dumps(
-            self.heatmap.to_dict(), indent=2, sort_keys=True))
+            heatmap_payload, indent=2, sort_keys=True))
         written.append(heatmap_path)
 
         jsonl_path = out_dir / "trace.jsonl"
@@ -184,6 +197,9 @@ class NullTelemetry(Telemetry):
 
     def set_wear_probe(self, probe: Callable[[], Sequence[float]]) -> None:
         self._refuse("set_wear_probe")
+
+    def set_retired_probe(self, probe: Callable[[], Sequence[float]]) -> None:
+        self._refuse("set_retired_probe")
 
     def write(self, out_dir: Path) -> List[Path]:
         self._refuse("write")

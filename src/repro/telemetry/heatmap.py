@@ -32,6 +32,11 @@ class WearHeatmap:
     def set_probe(self, probe: WearProbe) -> None:
         self._probe = probe
 
+    @property
+    def active(self) -> bool:
+        """Whether a probe is attached (snapshots are being recorded)."""
+        return self._probe is not None
+
     def snapshot(self, now_ns: float) -> None:
         """Record one epoch row; no-op until a probe is attached."""
         if self._probe is None:

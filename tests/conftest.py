@@ -1,0 +1,15 @@
+"""Suite-wide pytest configuration.
+
+Hypothesis deadlines are wall-clock, so any instrumentation that slows
+execution uniformly - coverage tracing, sanitizers, busy CI runners -
+turns healthy property tests into flaky DeadlineExceeded failures.
+Example count stays per-test; only the per-example stopwatch goes.
+"""
+
+try:
+    from hypothesis import settings
+except ImportError:        # hypothesis is a test extra; don't require it
+    pass                   # just to collect non-property tests
+else:
+    settings.register_profile("repro", deadline=None)
+    settings.load_profile("repro")

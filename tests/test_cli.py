@@ -46,12 +46,14 @@ def test_sweep_rejects_unknown_workload(capsys):
         "sweep", "--workloads", "nosuch", "--policies", "Norm",
         "--scale", "0.05",
     ])
-    assert code == 2
+    assert code == 1
+    assert "unknown workload" in capsys.readouterr().err
 
 
-def test_sweep_rejects_unknown_policy():
-    with pytest.raises(ValueError):
-        main(["sweep", "--workloads", "hmmer", "--policies", "Bogus"])
+def test_sweep_rejects_unknown_policy(capsys):
+    code = main(["sweep", "--workloads", "hmmer", "--policies", "Bogus"])
+    assert code == 1
+    assert "unknown base policy" in capsys.readouterr().err
 
 
 def test_figure_command_analytic(capsys):
@@ -80,9 +82,64 @@ def test_run_requires_workload():
         build_parser().parse_args(["run"])
 
 
-def test_parser_rejects_unknown_workload_choice():
-    with pytest.raises(SystemExit):
-        build_parser().parse_args(["run", "--workload", "bogus"])
+def test_run_rejects_unknown_workload(capsys):
+    # A typo'd name is one clear line on stderr and exit 1 - never an
+    # argparse SystemExit or a KeyError traceback.
+    code = main(["run", "--workload", "bogus"])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "unknown workload" in err
+    assert "bogus" in err
+    assert "Traceback" not in err
+
+
+def test_run_rejects_unknown_policy(capsys):
+    code = main(["run", "--workload", "hmmer", "--policy", "Slow+XX"])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "unknown policy suffix" in err
+
+
+def test_profile_rejects_unknown_workload(capsys):
+    code = main(["profile", "--workload", "nope"])
+    assert code == 1
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_profile_rejects_unknown_policy(capsys):
+    code = main(["profile", "--workload", "hmmer", "--policy", "Wrong"])
+    assert code == 1
+    assert "unknown base policy" in capsys.readouterr().err
+
+
+def test_faults_rejects_unknown_policy(capsys):
+    code = main(["faults", "--policies", "Norm,Bogus"])
+    assert code == 1
+    assert "unknown base policy" in capsys.readouterr().err
+
+
+def test_faults_rejects_bad_seed_count(capsys):
+    code = main(["faults", "--seeds", "0"])
+    assert code == 1
+    assert "--seeds" in capsys.readouterr().err
+
+
+def test_faults_command(tmp_path, capsys):
+    out = tmp_path / "faults.json"
+    code = main([
+        "faults", "--workload", "zeusmp", "--seeds", "2",
+        "--scale", "0.01", "--quiet", "--output", str(out),
+    ])
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "Lifetime to failure" in stdout
+    assert "Norm" in stdout and "Slow+SC" in stdout
+    import json
+    doc = json.loads(out.read_text())
+    by_policy = {row["policy"]: row for row in doc["rows"]}
+    assert set(by_policy) == {"Norm", "BE-Mellow+SC", "Slow+SC"}
+    assert (by_policy["Slow+SC"]["mean_survival_ns"]
+            > by_policy["Norm"]["mean_survival_ns"])
 
 
 def test_figure_export_csv(tmp_path, capsys):

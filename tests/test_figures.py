@@ -100,5 +100,5 @@ def test_fig19_marks_best_static(shared_runner):
 def test_all_figures_registry_complete():
     expected = {"fig01", "fig02", "fig03", "tab04", "tab06", "fig10",
                 "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-                "fig17", "fig18", "fig19"}
+                "fig17", "fig18", "fig19", "figfaults"}
     assert set(figures.ALL_FIGURES) == expected

@@ -360,6 +360,53 @@ def test_sim009_suppression():
 
 
 # --------------------------------------------------------------------------
+# SIM010 faults-direct-random (path-scoped)
+# --------------------------------------------------------------------------
+
+FAULTS_PATH = "src/repro/faults/injector.py"
+
+def test_sim010_flags_seeded_random_in_faults():
+    # SIM002 allows a *seeded* Random anywhere else; inside repro.faults
+    # even that is banned - the generator must be the injected one.
+    src = "import random\nrng = random.Random(42)\n"
+    assert "SIM010" in rule_ids(src, path=FAULTS_PATH)
+
+def test_sim010_flags_module_global_calls_in_faults():
+    src = "import random\nx = random.random()\n"
+    ids = rule_ids(src, path=FAULTS_PATH)
+    assert "SIM010" in ids
+    assert "SIM002" in ids          # both rules apply to the global call
+
+def test_sim010_flags_from_import_in_faults():
+    src = "from random import Random\n"
+    assert rule_ids(src, path=FAULTS_PATH) == ["SIM010"]
+
+def test_sim010_is_path_scoped():
+    src = "import random\nrng = random.Random(42)\n"
+    assert rule_ids(src, path="src/repro/sim/system.py") == []
+    assert rule_ids(src, path="src\\repro\\faults\\win.py") == ["SIM010"]
+
+def test_sim010_negative_injected_rng():
+    # The intended shape: 'import random' for annotations only, every
+    # draw through the instance handed to the constructor.
+    clean = (
+        "import random\n"
+        "class FaultInjector:\n"
+        "    def __init__(self, rng: random.Random) -> None:\n"
+        "        self.rng = rng\n"
+        "    def flip(self) -> bool:\n"
+        "        return self.rng.random() < 0.5\n"
+    )
+    assert rule_ids(clean, path=FAULTS_PATH) == []
+
+def test_sim010_suppression():
+    src = ("import random\n"
+           "rng = random.Random(0)   "
+           "# simlint: ignore[SIM010] -- doc example only\n")
+    assert rule_ids(src, path=FAULTS_PATH) == []
+
+
+# --------------------------------------------------------------------------
 # Suppression syntax details
 # --------------------------------------------------------------------------
 

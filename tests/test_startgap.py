@@ -70,7 +70,7 @@ def test_overhead_zero_before_writes():
     writes=st.integers(min_value=0, max_value=400),
     psi=st.integers(min_value=1, max_value=7),
 )
-@settings(max_examples=60)
+@settings(max_examples=60, deadline=None)
 def test_remap_is_injective_at_all_times(num_lines, writes, psi):
     """Property: the logical->physical map is injective after any number of
     writes (two logical lines never share a physical slot)."""
@@ -86,7 +86,8 @@ def test_remap_is_injective_at_all_times(num_lines, writes, psi):
     num_lines=st.integers(min_value=2, max_value=32),
     rounds=st.integers(min_value=1, max_value=4),
 )
-@settings(max_examples=40)
+# deadline=None: wall-clock deadlines flake under coverage tracing.
+@settings(max_examples=40, deadline=None)
 def test_rotation_visits_every_slot(num_lines, rounds):
     """Property: after enough writes every logical line has occupied
     several distinct physical slots - wear actually spreads."""
