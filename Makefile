@@ -37,7 +37,7 @@ COV_FLOOR ?= 90
 coverage:
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; \
 	then $(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing \
-		--cov-fail-under=$(COV_FLOOR); \
+		--cov-report=json --cov-fail-under=$(COV_FLOOR); \
 	else echo "coverage: pytest-cov not installed, skipping (CI runs it)"; fi
 
 # Sanitizer overhead + bit-identity report.

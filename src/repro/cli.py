@@ -372,6 +372,51 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation-as-a-service HTTP job API (see docs/serving.md).
+
+    Blocks until SIGINT/SIGTERM, then drains the worker pool for
+    ``--drain-timeout`` seconds before cancelling what remains.  Bad
+    arguments and an unbindable port exit 1 via :class:`CLIError`, like
+    every other verb.
+    """
+    import asyncio
+    import errno
+    import logging
+
+    from repro.serve import ReproServer, ServeError
+
+    logging.basicConfig(
+        level=logging.INFO, stream=sys.stderr,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    if args.workers < 1:
+        raise CLIError(f"--workers must be >= 1, got {args.workers}")
+    if args.drain_timeout < 0:
+        raise CLIError(
+            f"--drain-timeout cannot be negative, got {args.drain_timeout}")
+    try:
+        server = ReproServer(
+            host=args.host, port=args.port, workers=args.workers,
+            drain_timeout=args.drain_timeout,
+        )
+    except ServeError as error:
+        raise CLIError(str(error)) from None
+    try:
+        asyncio.run(server.run())
+    except OSError as error:
+        if error.errno == errno.EADDRINUSE:
+            raise CLIError(
+                f"port {args.port} on {args.host} is already in use "
+                "(is another repro serve running? try --port)") from None
+        raise CLIError(
+            f"cannot bind {args.host}:{args.port}: "
+            f"{error.strerror or error}") from None
+    except KeyboardInterrupt:
+        pass   # drained by server.run()'s signal handler where possible
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     workloads = Table(
         title="Workloads (Table IV)",
@@ -538,6 +583,21 @@ def build_parser() -> argparse.ArgumentParser:
     faults_parser.add_argument("--output", default=None,
                                help="also export the table to .csv or .json")
     faults_parser.set_defaults(handler=cmd_faults)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the async HTTP job API "
+                      "(POST /jobs, GET /jobs/<id>, /healthz, /metrics)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8765,
+                              help="bind port (default 8765; 0 = ephemeral)")
+    serve_parser.add_argument("--workers", type=int, default=2,
+                              help="concurrent job executors (default 2)")
+    serve_parser.add_argument("--drain-timeout", type=float, default=10.0,
+                              help="seconds to let jobs drain on shutdown "
+                                   "before cancelling (default 10)")
+    serve_parser.set_defaults(handler=cmd_serve)
 
     list_parser = subparsers.add_parser(
         "list", help="list workloads, policies, figures",

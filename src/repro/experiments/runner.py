@@ -288,6 +288,26 @@ class Runner:
             atomic_write_text(self._path_for(config),
                               entry_to_json(config, result))
 
+    def peek(self, config: SimConfig) -> Optional[RunResult]:
+        """A cached result if one exists - never simulates.
+
+        The ``repro serve`` submission path uses this to answer a job
+        whose digest is already in the cache without occupying a
+        worker; a hit counts toward ``cache_hits`` exactly like a hit
+        inside :meth:`run`.
+        """
+        key = config.cache_key()
+        if not self._telemetry_satisfied(config):
+            return None
+        if key in self._memo:
+            self.cache_hits += 1
+            return self._memo[key]
+        result = self._load_disk(config)
+        if result is not None:
+            self._memo[key] = result
+            self.cache_hits += 1
+        return result
+
     def run(self, config: SimConfig) -> RunResult:
         config = self._with_telemetry_dir(config)
         key = config.cache_key()
@@ -331,6 +351,7 @@ class Runner:
     def sweep(self, configs: Iterable[SimConfig],
               jobs: Optional[int] = None,
               progress: Optional[ProgressCallback] = None,
+              apply_env_scale: bool = True,
               ) -> List[RunResult]:
         """Run a grid of configs, fanning cache misses out over processes.
 
@@ -339,9 +360,15 @@ class Runner:
         configs in the grid simulate once.  ``jobs`` defaults to
         ``REPRO_JOBS`` (or all cores); ``progress`` receives one
         :class:`SweepProgress` per completed run.
+
+        ``apply_env_scale=False`` skips the ``REPRO_SCALE`` rescaling:
+        callers that computed digests from the configs *as given* (the
+        ``repro serve`` job API) need execution and identity to agree
+        even when the environment carries a scale override.
         """
-        configs = [self._with_telemetry_dir(self._scaled_config(c))
-                   for c in configs]
+        if apply_env_scale:
+            configs = [self._scaled_config(c) for c in configs]
+        configs = [self._with_telemetry_dir(c) for c in configs]
         total = len(configs)
         jobs = default_jobs() if jobs is None else max(1, jobs)
         results: Dict[int, RunResult] = {}

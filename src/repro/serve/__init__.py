@@ -1,0 +1,44 @@
+"""Simulation-as-a-service: the ``repro serve`` async job API.
+
+This package turns the sweep engine, result cache, fault Monte Carlo
+and telemetry subsystem into a long-running HTTP service:
+
+* :mod:`repro.serve.schemas` - wire formats: job-spec validation that
+  turns request JSON into :class:`repro.sim.config.SimConfig` grids and
+  a deterministic job digest, with structured field-level errors;
+* :mod:`repro.serve.jobs`    - the in-memory job store with
+  dedupe-by-digest and per-job progress/lifecycle state;
+* :mod:`repro.serve.queue`   - the priority job queue (single runs
+  ahead of sweeps ahead of fault Monte Carlos, overridable per job);
+* :mod:`repro.serve.pool`    - the bounded worker pool that executes
+  jobs through :class:`repro.experiments.runner.Runner`;
+* :mod:`repro.serve.server`  - the stdlib-only HTTP/1.1 server over
+  ``asyncio`` streams, plus graceful drain-or-cancel shutdown.
+
+Everything is standard library + the existing simulator; there is no
+web framework to install.  See ``docs/serving.md`` for the endpoint
+reference and ``repro serve --help`` for the CLI.
+"""
+
+from repro.serve.jobs import Job, JobState, JobStore
+from repro.serve.queue import PriorityJobQueue
+from repro.serve.schemas import (
+    PRIORITY_BY_KIND,
+    JobSpec,
+    SpecError,
+    parse_job_spec,
+)
+from repro.serve.server import ReproServer, ServeError
+
+__all__ = [
+    "Job",
+    "JobSpec",
+    "JobState",
+    "JobStore",
+    "PRIORITY_BY_KIND",
+    "PriorityJobQueue",
+    "ReproServer",
+    "ServeError",
+    "SpecError",
+    "parse_job_spec",
+]

@@ -1,0 +1,177 @@
+"""The in-memory job store: lifecycle state plus dedupe-by-digest.
+
+Jobs move ``queued -> running -> completed`` (or ``failed``, or
+``cancelled`` when a shutdown deadline cuts the queue short)::
+
+                 +-----------+   worker    +-----------+
+    POST /jobs ->|  queued   |------------>|  running  |
+                 +-----------+             +-----+-----+
+                       |  shutdown deadline      |
+                       v                         +--> completed
+                 +-----------+                   |
+                 | cancelled |                   +--> failed
+                 +-----------+
+
+Submissions are idempotent: the store indexes live and completed jobs
+by their spec digest, so re-submitting work that is already queued,
+running or done returns the *same* job instead of executing twice.
+Failed and cancelled jobs are evicted from the index, so resubmission
+after a failure retries cleanly.
+
+All state transitions happen on the server's event loop; the only
+fields a worker thread touches are the integer progress counters,
+which are single assignments and therefore safe under the GIL.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.serve.schemas import JobSpec
+
+
+def host_now() -> float:
+    """Monotonic host-process clock for job ages and durations.
+
+    The serve layer is service infrastructure, not simulation logic -
+    nothing here feeds back into a result - so reading the host clock
+    is correct, and this single suppressed call site documents that.
+    """
+    return time.monotonic()   # simlint: ignore[SIM003]
+
+
+class JobState:
+    """String constants for the job lifecycle (JSON-friendly)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    #: States that still hold (or will hold) a usable result; jobs in
+    #: these states absorb duplicate submissions of the same digest.
+    DEDUPE_TARGETS = (QUEUED, RUNNING, COMPLETED)
+
+    ALL = (QUEUED, RUNNING, COMPLETED, FAILED, CANCELLED)
+
+
+@dataclass
+class Job:
+    """One submitted job and everything the status endpoints report."""
+
+    id: str
+    spec: JobSpec
+    state: str = JobState.QUEUED
+    completed_runs: int = 0
+    #: True when the result came from the cache/dedupe short circuit
+    #: rather than a fresh execution by this job.
+    cached: bool = False
+    error: Optional[str] = None
+    #: ``result_to_dict`` payloads in config order, set on completion.
+    results: Optional[List[Dict[str, Any]]] = None
+    submitted_at: float = field(default_factory=host_now)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def total_runs(self) -> int:
+        return self.spec.total_runs
+
+    def to_status(self) -> Dict[str, Any]:
+        """The JSON body of ``GET /jobs/<id>`` (and the POST response)."""
+        status: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "digest": self.spec.digest,
+            "state": self.state,
+            "priority": self.spec.priority,
+            "cached": self.state == JobState.COMPLETED and self.cached,
+            "progress": {
+                "completed": self.completed_runs,
+                "total": self.total_runs,
+            },
+            "spec": dict(self.spec.summary),
+            "age_s": round(host_now() - self.submitted_at, 3),
+        }
+        if self.error is not None:
+            status["error"] = self.error
+        if self.started_at is not None and self.finished_at is not None:
+            status["duration_s"] = round(
+                self.finished_at - self.started_at, 3)
+        return status
+
+
+class JobStore:
+    """Insertion-ordered job registry with a digest dedupe index."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, Job] = {}
+        self._by_digest: Dict[str, str] = {}
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        return list(self._jobs.values())
+
+    def submit(self, spec: JobSpec) -> "tuple[Job, bool]":
+        """Register a spec; returns ``(job, deduped)``.
+
+        ``deduped`` is True when an existing queued/running/completed
+        job already covers this digest - the caller must not enqueue a
+        second execution.  A digest whose previous job failed or was
+        cancelled gets a fresh job (retry semantics).
+        """
+        existing_id = self._by_digest.get(spec.digest)
+        if existing_id is not None:
+            existing = self._jobs[existing_id]
+            if existing.state in JobState.DEDUPE_TARGETS:
+                return existing, True
+        self._next_id += 1
+        job = Job(id=f"job-{self._next_id:06d}", spec=spec)
+        self._jobs[job.id] = job
+        self._by_digest[spec.digest] = job.id
+        return job, False
+
+    def mark_running(self, job: Job) -> None:
+        job.state = JobState.RUNNING
+        job.started_at = host_now()
+
+    def mark_completed(self, job: Job, results: List[Dict[str, Any]],
+                       cached: bool = False) -> None:
+        job.results = results
+        job.completed_runs = job.total_runs
+        job.cached = cached
+        job.state = JobState.COMPLETED
+        job.finished_at = host_now()
+
+    def mark_failed(self, job: Job, error: str) -> None:
+        job.error = error
+        job.state = JobState.FAILED
+        job.finished_at = host_now()
+        self._drop_index(job)
+
+    def mark_cancelled(self, job: Job, reason: str) -> None:
+        job.error = reason
+        job.state = JobState.CANCELLED
+        job.finished_at = host_now()
+        self._drop_index(job)
+
+    def _drop_index(self, job: Job) -> None:
+        """Failed/cancelled jobs stop absorbing duplicate submissions."""
+        if self._by_digest.get(job.spec.digest) == job.id:
+            del self._by_digest[job.spec.digest]
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per state, every state present (zeros included)."""
+        counts = {state: 0 for state in JobState.ALL}
+        for job in self._jobs.values():
+            counts[job.state] += 1
+        return counts

@@ -1,0 +1,129 @@
+"""The bounded worker pool that actually executes jobs.
+
+``workers`` asyncio tasks pull job ids off the priority queue; each job
+runs to completion inside a ``ThreadPoolExecutor`` thread (simulations
+are CPU-bound blocking calls) via :meth:`Runner.sweep` with
+``apply_env_scale=False``, so the configs execute *exactly* as the spec
+digested them - the digest a client was given at submission is the
+digest the result cache files land under.  ``jobs=1`` keeps each job
+serial in its thread: concurrency comes from the pool width, not from
+nesting a process pool under every worker.
+
+Shutdown is two-phase (see :meth:`WorkerPool.drain`): first the queue
+is closed and workers finish what is queued, then - if the deadline
+expires - pending jobs are cancelled and the worker tasks torn down.
+A job already running past the deadline is marked cancelled and its
+thread abandoned; results it may still produce are discarded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List
+
+from repro.experiments.runner import Runner, SweepProgress, result_to_dict
+from repro.serve.jobs import Job, JobState, JobStore
+from repro.serve.queue import PriorityJobQueue
+from repro.telemetry.metrics import MetricRegistry
+
+
+class WorkerPool:
+    """``workers`` concurrent job executors over one thread pool."""
+
+    def __init__(self, queue: PriorityJobQueue, store: JobStore,
+                 runner: Runner, metrics: MetricRegistry,
+                 workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._queue = queue
+        self._store = store
+        self._runner = runner
+        self._metrics = metrics
+        self._busy = 0
+        self._tasks: List["asyncio.Task[None]"] = []
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-job")
+
+    @property
+    def busy(self) -> int:
+        return self._busy
+
+    def start(self) -> None:
+        """Spawn the worker tasks on the running event loop."""
+        loop = asyncio.get_running_loop()
+        self._tasks = [
+            loop.create_task(self._worker(), name=f"repro-worker-{i}")
+            for i in range(self.workers)
+        ]
+
+    def _execute(self, job: Job) -> List[Dict[str, Any]]:
+        """Blocking job execution (runs on an executor thread)."""
+        def on_progress(event: SweepProgress) -> None:
+            # Single int assignment: safe to publish from this thread.
+            job.completed_runs = event.completed
+
+        results = self._runner.sweep(
+            list(job.spec.configs), jobs=1, progress=on_progress,
+            apply_env_scale=False,
+        )
+        return [result_to_dict(result) for result in results]
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job_id = await self._queue.get()
+            if job_id is None:    # queue closed and drained
+                return
+            job = self._store.get(job_id)
+            if job is None or job.state != JobState.QUEUED:
+                continue          # cancelled while waiting in the heap
+            self._store.mark_running(job)
+            self._busy += 1
+            self._metrics.gauge("serve.workers.busy").set(self._busy)
+            try:
+                results = await loop.run_in_executor(
+                    self._executor, self._execute, job)
+            except asyncio.CancelledError:
+                self._store.mark_cancelled(
+                    job, "shutdown deadline expired while running")
+                self._metrics.counter("serve.jobs.cancelled").inc()
+                raise
+            except Exception as error:   # noqa: BLE001 - job boundary
+                self._store.mark_failed(
+                    job, f"{type(error).__name__}: {error}")
+                self._metrics.counter("serve.jobs.failed").inc()
+            else:
+                self._store.mark_completed(job, results)
+                self._metrics.counter("serve.jobs.completed").inc()
+            finally:
+                self._busy -= 1
+                self._metrics.gauge("serve.workers.busy").set(self._busy)
+
+    async def drain(self, timeout: float) -> List[str]:
+        """Graceful shutdown: drain the queue, then cancel past deadline.
+
+        Returns the ids of jobs that were cancelled (queued jobs evicted
+        from the heap; running jobs mark themselves cancelled via their
+        worker's ``CancelledError`` handler).
+        """
+        self._queue.close()
+        cancelled: List[str] = []
+        if not self._tasks:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            return cancelled
+        _done, pending = await asyncio.wait(self._tasks, timeout=timeout)
+        if pending:
+            for job_id in self._queue.cancel_pending():
+                job = self._store.get(job_id)
+                if job is not None and job.state == JobState.QUEUED:
+                    self._store.mark_cancelled(
+                        job, "shutdown deadline expired while queued")
+                    self._metrics.counter("serve.jobs.cancelled").inc()
+                    cancelled.append(job_id)
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        return cancelled

@@ -1,0 +1,67 @@
+"""The priority job queue feeding the worker pool.
+
+A tiny heap-backed asyncio queue: entries are ``(priority, seq,
+job_id)`` so lower priorities run first and equal priorities stay FIFO
+(``seq`` is a monotonically increasing submission counter that also
+makes every entry unique, keeping job ids out of heap comparisons).
+
+``close()`` starts the drain phase of a shutdown: waiting getters are
+released, ``get`` returns queued work until the heap is empty and then
+``None`` forever, and further ``put`` calls raise.  ``cancel_pending``
+is the hard variant - it empties the heap and hands the evicted job
+ids back so the caller can mark them cancelled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from typing import List, Optional, Tuple
+
+
+class PriorityJobQueue:
+    """Async priority queue of job ids (lower priority value = sooner)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, str]] = []
+        self._seq = 0
+        self._closed = False
+        self._ready = asyncio.Event()
+
+    @property
+    def depth(self) -> int:
+        return len(self._heap)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, job_id: str, priority: int) -> None:
+        if self._closed:
+            raise RuntimeError("queue is closed")
+        self._seq += 1
+        heapq.heappush(self._heap, (priority, self._seq, job_id))
+        self._ready.set()
+
+    async def get(self) -> Optional[str]:
+        """Next job id by priority; ``None`` once closed and drained."""
+        while True:
+            if self._heap:
+                _, _, job_id = heapq.heappop(self._heap)
+                if not self._heap and not self._closed:
+                    self._ready.clear()
+                return job_id
+            if self._closed:
+                return None
+            await self._ready.wait()
+
+    def close(self) -> None:
+        """No more puts; getters drain the heap then receive ``None``."""
+        self._closed = True
+        self._ready.set()
+
+    def cancel_pending(self) -> List[str]:
+        """Empty the heap; returns the evicted job ids in queue order."""
+        evicted = [job_id for _, _, job_id in sorted(self._heap)]
+        self._heap.clear()
+        return evicted

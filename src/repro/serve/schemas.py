@@ -1,0 +1,394 @@
+"""Wire schemas: job-spec JSON in, validated SimConfig grids out.
+
+A job spec is one JSON object with a ``kind`` discriminator:
+
+``run``
+    one simulation - ``{"kind": "run", "workload": "hmmer",
+    "policy": "BE-Mellow+SC", "scale": 0.05}``
+``sweep``
+    a workload x policy grid - ``{"kind": "sweep",
+    "workloads": ["lbm", "stream"], "policies": ["Norm", "Slow+SC"]}``
+``faults``
+    a fault-injection Monte Carlo - ``{"kind": "faults",
+    "workload": "zeusmp", "seeds": 4}`` (per-seed grid via
+    :func:`repro.experiments.faults.survival_configs`).
+
+Validation is *total*: every problem in a spec is collected into one
+:class:`SpecError` whose ``errors`` list maps straight onto the
+service's structured 400 body, so a client sees all of its mistakes in
+a single round trip instead of one per request.
+
+The **job digest** is the service's idempotency key: a deterministic
+hash of the full, normalised config grid (via the same
+``digest_for_key`` the result cache uses).  Two specs that simulate the
+same work - whatever key order or defaults the client spelled out -
+share a digest, which is what submission dedupe and cache short-circuit
+keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.policies import parse_policy
+from repro.faults.config import FaultConfig
+from repro.sim.config import SimConfig, digest_for_key
+
+#: Queue priority per job kind; lower runs first.  Interactive single
+#: runs jump ahead of grid sweeps, which jump ahead of fault Monte
+#: Carlos - the latter are the longest and least latency-sensitive.
+PRIORITY_BY_KIND: Dict[str, int] = {"run": 0, "sweep": 1, "faults": 2}
+
+#: Inclusive bounds for an explicit per-job ``priority`` override.
+PRIORITY_MIN = 0
+PRIORITY_MAX = 9
+
+_KINDS = tuple(PRIORITY_BY_KIND)
+
+#: Per-config knobs shared by every kind (JSON key -> SimConfig kwarg).
+_CONFIG_KNOBS: Dict[str, str] = {
+    "slow_factor": "slow_factor",
+    "banks": "num_banks",
+    "ranks": "num_ranks",
+    "expo_factor": "expo_factor",
+    "seed": "seed",
+    "measure": "measure_accesses",
+}
+
+_FAULT_KNOBS = (
+    "median_endurance", "sigma", "cells_per_line",
+    "spare_lines_per_bank", "max_write_retries",
+    "stuck_mismatch_probability", "wear_acceleration",
+)
+
+_KEYS_BY_KIND: Dict[str, FrozenSet[str]] = {
+    "run": frozenset({"kind", "priority", "workload", "policy", "scale",
+                      "faults", *_CONFIG_KNOBS}),
+    "sweep": frozenset({"kind", "priority", "workloads", "policies",
+                        "scale", "faults", *_CONFIG_KNOBS}),
+    "faults": frozenset({"kind", "priority", "workload", "policies",
+                         "seeds", "scale", "faults", *_CONFIG_KNOBS}),
+}
+
+
+class SpecError(Exception):
+    """A job spec failed validation; ``errors`` is the structured list.
+
+    Each entry is ``{"field": <json path>, "message": <what is wrong>}``
+    and the service returns the whole list in its 400 body.
+    """
+
+    def __init__(self, errors: Sequence[Mapping[str, str]]) -> None:
+        self.errors: List[Dict[str, str]] = [dict(e) for e in errors]
+        super().__init__(
+            "; ".join(f"{e['field']}: {e['message']}" for e in self.errors)
+        )
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A validated, normalised job: the config grid plus queue metadata."""
+
+    kind: str
+    configs: Tuple[SimConfig, ...]
+    priority: int
+    digest: str
+    summary: Dict[str, Any]
+
+    @property
+    def total_runs(self) -> int:
+        return len(self.configs)
+
+
+class _Collector:
+    """Accumulates field errors so one response reports them all."""
+
+    def __init__(self) -> None:
+        self.errors: List[Dict[str, str]] = []
+
+    def add(self, field: str, message: str) -> None:
+        self.errors.append({"field": field, "message": message})
+
+    def raise_if_any(self) -> None:
+        if self.errors:
+            raise SpecError(self.errors)
+
+
+def _known_workloads() -> List[str]:
+    from repro.workloads.mix import MIXES
+    from repro.workloads.profiles import PROFILES
+    return sorted(set(PROFILES) | set(MIXES))
+
+
+def _check_workload(errors: _Collector, field: str, value: Any,
+                    ) -> Optional[str]:
+    if not isinstance(value, str):
+        errors.add(field, f"expected a workload name string, got "
+                          f"{type(value).__name__}")
+        return None
+    if value not in _known_workloads():
+        errors.add(field, f"unknown workload {value!r} "
+                          f"(known: {', '.join(_known_workloads())})")
+        return None
+    return value
+
+
+def _check_policy(errors: _Collector, field: str, value: Any,
+                  ) -> Optional[str]:
+    if not isinstance(value, str):
+        errors.add(field, f"expected a policy name string, got "
+                          f"{type(value).__name__}")
+        return None
+    try:
+        parse_policy(value)
+    except ValueError as error:
+        errors.add(field, str(error))
+        return None
+    return value
+
+
+def _check_number(errors: _Collector, field: str, value: Any,
+                  minimum: Optional[float] = None) -> Optional[float]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        errors.add(field, f"expected a number, got {type(value).__name__}")
+        return None
+    if minimum is not None and value < minimum:
+        errors.add(field, f"must be >= {minimum}, got {value}")
+        return None
+    return float(value)
+
+
+def _check_int(errors: _Collector, field: str, value: Any,
+               minimum: Optional[int] = None) -> Optional[int]:
+    if isinstance(value, bool) or not isinstance(value, int):
+        errors.add(field, f"expected an integer, got {type(value).__name__}")
+        return None
+    if minimum is not None and value < minimum:
+        errors.add(field, f"must be >= {minimum}, got {value}")
+        return None
+    return value
+
+
+def _check_name_list(errors: _Collector, field: str, value: Any) -> List[str]:
+    """A non-empty JSON array of strings (workloads/policies lists)."""
+    if not isinstance(value, list) or not value:
+        errors.add(field, "expected a non-empty array of names")
+        return []
+    names: List[str] = []
+    for i, item in enumerate(value):
+        if not isinstance(item, str):
+            errors.add(f"{field}[{i}]",
+                       f"expected a name string, got {type(item).__name__}")
+            continue
+        names.append(item)
+    return names
+
+
+def _parse_faults(errors: _Collector, value: Any,
+                  base: Optional[FaultConfig]) -> Optional[FaultConfig]:
+    """A ``faults`` sub-object: knob overrides on ``base`` (or defaults)."""
+    if value is None:
+        return base
+    if not isinstance(value, dict):
+        errors.add("faults", f"expected an object, got "
+                             f"{type(value).__name__}")
+        return base
+    overrides: Dict[str, Any] = {}
+    for key, item in value.items():
+        if key not in _FAULT_KNOBS:
+            errors.add(f"faults.{key}",
+                       f"unknown fault knob (known: {', '.join(_FAULT_KNOBS)})")
+            continue
+        if isinstance(item, bool) or not isinstance(item, (int, float)):
+            errors.add(f"faults.{key}",
+                       f"expected a number, got {type(item).__name__}")
+            continue
+        overrides[key] = item
+    try:
+        if base is None:
+            return FaultConfig(**overrides)
+        return replace(base, **overrides)
+    except ValueError as error:
+        errors.add("faults", str(error))
+        return base
+
+
+def _config_kwargs(errors: _Collector, payload: Mapping[str, Any],
+                   ) -> Dict[str, Any]:
+    """Validate the shared per-config knobs into SimConfig kwargs."""
+    kwargs: Dict[str, Any] = {}
+    for field, kwarg in _CONFIG_KNOBS.items():
+        if field not in payload:
+            continue
+        if field in ("banks", "ranks", "seed", "measure"):
+            minimum = 1 if field != "seed" else None
+            checked_int = _check_int(errors, field, payload[field], minimum)
+            if checked_int is not None:
+                kwargs[kwarg] = checked_int
+        else:
+            checked = _check_number(errors, field, payload[field],
+                                    minimum=1e-9)
+            if checked is not None:
+                kwargs[kwarg] = checked
+    return kwargs
+
+
+def _build_config(errors: _Collector, workload: str, policy: str,
+                  kwargs: Dict[str, Any], scale: float,
+                  faults: Optional[FaultConfig], seed: Optional[int] = None,
+                  ) -> Optional[SimConfig]:
+    merged = dict(kwargs)
+    if seed is not None:
+        merged["seed"] = seed
+    try:
+        config = SimConfig(workload=workload, policy=policy,
+                           faults=faults, **merged)
+    except (TypeError, ValueError) as error:
+        errors.add("config", str(error))
+        return None
+    if scale != 1.0:
+        config = config.scaled(scale)
+    return config
+
+
+def _job_digest(configs: Sequence[SimConfig]) -> str:
+    """Deterministic idempotency key for a config grid.
+
+    A single-config job digests to its config's own cache digest, so a
+    served run and a ``repro run`` of the same config agree on identity;
+    grids digest the ordered list of config cache keys.
+    """
+    if len(configs) == 1:
+        return configs[0].cache_digest()
+    return digest_for_key([list(c.cache_key()) for c in configs])
+
+
+def parse_job_spec(payload: Any) -> JobSpec:
+    """Validate request JSON into a :class:`JobSpec`.
+
+    Raises :class:`SpecError` carrying *every* field problem found; the
+    server maps it to a structured 400 response.
+    """
+    errors = _Collector()
+    if not isinstance(payload, dict):
+        errors.add("$", f"job spec must be a JSON object, got "
+                        f"{type(payload).__name__}")
+        errors.raise_if_any()
+
+    kind = payload.get("kind")
+    if not isinstance(kind, str) or kind not in _KINDS:
+        errors.add("kind", f"must be one of {', '.join(_KINDS)}, "
+                           f"got {kind!r}")
+        errors.raise_if_any()
+    assert isinstance(kind, str)
+
+    for key in payload:
+        if key not in _KEYS_BY_KIND[kind]:
+            errors.add(key, f"unknown field for kind {kind!r} (known: "
+                            f"{', '.join(sorted(_KEYS_BY_KIND[kind]))})")
+
+    priority = PRIORITY_BY_KIND[kind]
+    if "priority" in payload:
+        checked_priority = _check_int(errors, "priority",
+                                      payload["priority"], PRIORITY_MIN)
+        if checked_priority is not None:
+            if checked_priority > PRIORITY_MAX:
+                errors.add("priority",
+                           f"must be <= {PRIORITY_MAX}, got "
+                           f"{checked_priority}")
+            else:
+                priority = checked_priority
+
+    scale = 1.0
+    if "scale" in payload:
+        checked_scale = _check_number(errors, "scale", payload["scale"],
+                                      minimum=1e-9)
+        if checked_scale is not None:
+            scale = checked_scale
+
+    kwargs = _config_kwargs(errors, payload)
+    configs: List[SimConfig] = []
+    summary: Dict[str, Any] = {"kind": kind}
+
+    if kind == "run":
+        if "workload" not in payload:
+            errors.add("workload", "required for kind 'run'")
+        workload = _check_workload(errors, "workload",
+                                   payload.get("workload", ""))
+        policy = _check_policy(errors, "policy",
+                               payload.get("policy", "Norm"))
+        faults = _parse_faults(errors, payload.get("faults"), None)
+        errors.raise_if_any()
+        assert workload is not None and policy is not None
+        config = _build_config(errors, workload, policy, kwargs, scale,
+                               faults)
+        errors.raise_if_any()
+        assert config is not None
+        configs = [config]
+        summary.update(workload=workload, policy=policy)
+
+    elif kind == "sweep":
+        if "workloads" not in payload:
+            errors.add("workloads", "required for kind 'sweep'")
+        if "policies" not in payload:
+            errors.add("policies", "required for kind 'sweep'")
+        workloads = [
+            w for w in _check_name_list(errors, "workloads",
+                                        payload.get("workloads", []))
+            if _check_workload(errors, "workloads", w) is not None
+        ]
+        policies = [
+            p for p in _check_name_list(errors, "policies",
+                                        payload.get("policies", []))
+            if _check_policy(errors, "policies", p) is not None
+        ]
+        faults = _parse_faults(errors, payload.get("faults"), None)
+        errors.raise_if_any()
+        for workload in workloads:
+            for policy in policies:
+                config = _build_config(errors, workload, policy, kwargs,
+                                       scale, faults)
+                if config is not None:
+                    configs.append(config)
+        errors.raise_if_any()
+        summary.update(workloads=workloads, policies=policies)
+
+    else:  # kind == "faults"
+        from repro.experiments.faults import (
+            DEFAULT_MC_SCALE,
+            SURVIVAL_POLICIES,
+            default_fault_config,
+        )
+        if "scale" not in payload:
+            scale = DEFAULT_MC_SCALE
+        workload = _check_workload(errors, "workload",
+                                   payload.get("workload", "zeusmp"))
+        if "policies" in payload:
+            policies = [
+                p for p in _check_name_list(errors, "policies",
+                                            payload["policies"])
+                if _check_policy(errors, "policies", p) is not None
+            ]
+        else:
+            policies = list(SURVIVAL_POLICIES)
+        seeds = _check_int(errors, "seeds", payload.get("seeds", 5),
+                           minimum=1)
+        faults = _parse_faults(errors, payload.get("faults"),
+                               default_fault_config())
+        errors.raise_if_any()
+        assert workload is not None and seeds is not None
+        assert faults is not None
+        for policy in policies:
+            for seed in range(1, seeds + 1):
+                config = _build_config(errors, workload, policy, kwargs,
+                                       scale, faults, seed=seed)
+                if config is not None:
+                    configs.append(config)
+        errors.raise_if_any()
+        summary.update(workload=workload, policies=policies, seeds=seeds)
+
+    if scale != 1.0:
+        summary["scale"] = scale
+    return JobSpec(kind=kind, configs=tuple(configs), priority=priority,
+                   digest=_job_digest(configs), summary=summary)

@@ -1,0 +1,381 @@
+"""The stdlib-only HTTP/1.1 server over ``asyncio`` streams.
+
+No web framework: requests are parsed straight off the stream reader
+(request line, headers, ``Content-Length`` body), responses are JSON
+with ``Connection: close``.  That is all a job API needs and keeps the
+service importable anywhere the simulator is.
+
+Endpoints::
+
+    POST /jobs              submit a job spec (see repro.serve.schemas)
+    GET  /jobs              all job statuses, newest last
+    GET  /jobs/<id>         one job's status + progress
+    GET  /jobs/<id>/result  the RunResult payload(s) once completed
+    GET  /healthz           liveness + queue/worker/job counts
+    GET  /metrics           live counters/gauges (MetricRegistry)
+
+Submission is idempotent twice over: a digest already covered by a
+queued/running/completed job returns that job (single execution per
+digest, no matter how many clients race), and a digest whose configs
+are all in the result cache completes instantly without touching the
+queue.  Both paths count into ``serve.jobs.deduped``.
+
+Every error is structured JSON - ``{"error": {"code", "message", ...}}``
+- so clients never parse prose.  Shutdown (SIGTERM/SIGINT or
+:meth:`ReproServer.request_shutdown`) closes the listener, lets the
+pool drain for ``drain_timeout`` seconds, then cancels what remains.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import signal
+from contextlib import suppress
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.runner import Runner, result_to_dict
+from repro.serve.jobs import Job, JobState, JobStore, host_now
+from repro.serve.pool import WorkerPool
+from repro.serve.queue import PriorityJobQueue
+from repro.serve.schemas import SpecError, parse_job_spec
+from repro.telemetry.metrics import MetricRegistry
+
+logger = logging.getLogger(__name__)
+
+#: Largest accepted request body; a job spec is tiny, so anything close
+#: to this is a client bug (or not a client at all).
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class ServeError(Exception):
+    """A server setup problem worth one clear line, not a traceback."""
+
+
+class _HttpError(Exception):
+    """Raised by handlers to produce a structured JSON error response."""
+
+    def __init__(self, status: int, code: str, message: str,
+                 extra: Optional[Dict[str, Any]] = None) -> None:
+        self.status = status
+        self.body: Dict[str, Any] = {
+            "error": {"code": code, "message": message, **(extra or {})}
+        }
+        super().__init__(message)
+
+
+class ReproServer:
+    """The ``repro serve`` service: HTTP front end + queue + pool."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765,
+                 workers: int = 2, drain_timeout: float = 10.0,
+                 runner: Optional[Runner] = None,
+                 metrics: Optional[MetricRegistry] = None) -> None:
+        if workers < 1:
+            raise ServeError(f"workers must be >= 1, got {workers}")
+        if not 0 <= port <= 65535:
+            raise ServeError(f"port must be in [0, 65535], got {port}")
+        if drain_timeout < 0:
+            raise ServeError(
+                f"drain timeout cannot be negative, got {drain_timeout}")
+        self.host = host
+        self._requested_port = port
+        self.drain_timeout = drain_timeout
+        self.runner = runner if runner is not None else Runner()
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self.store = JobStore()
+        self.queue = PriorityJobQueue()
+        self.pool = WorkerPool(self.queue, self.store, self.runner,
+                               self.metrics, workers)
+        self._server: Optional[asyncio.Server] = None
+        self._shutdown = asyncio.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started_at = 0.0
+        # Create every instrument up front so /metrics reports zeros
+        # instead of omitting series that have not fired yet.
+        for name in ("submitted", "completed", "failed", "cancelled",
+                     "deduped"):
+            self.metrics.counter(f"serve.jobs.{name}")
+        self.metrics.gauge("serve.workers.busy")
+        self.metrics.gauge("serve.workers.total").set(workers)
+        self.metrics.probe("serve.queue.depth", lambda: self.queue.depth)
+        self.metrics.probe(
+            "serve.jobs.running",
+            lambda: self.store.counts()[JobState.RUNNING])
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the kernel's pick)."""
+        if self._server is None or not self._server.sockets:
+            return self._requested_port
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def start(self) -> None:
+        """Bind the listener and spawn the worker pool.
+
+        Raises ``OSError`` (e.g. ``EADDRINUSE``) if the port cannot be
+        bound; the CLI maps that onto its ``CLIError`` exit-1 path.
+        """
+        self._loop = asyncio.get_running_loop()
+        self._started_at = host_now()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self._requested_port)
+        self.pool.start()
+        logger.info("serving on http://%s:%d (workers=%d)",
+                    self.host, self.port, self.pool.workers)
+
+    def request_shutdown(self) -> None:
+        """Begin graceful shutdown; safe to call from any thread."""
+        if self._loop is None:
+            return
+        self._loop.call_soon_threadsafe(self._shutdown.set)
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain the pool, cancel past the deadline."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        cancelled = await self.pool.drain(self.drain_timeout)
+        if cancelled:
+            logger.warning("drain deadline (%.1fs) cancelled %d job(s)",
+                           self.drain_timeout, len(cancelled))
+        logger.info("shutdown complete: %s", self.store.counts())
+
+    async def run(self) -> None:
+        """Start, serve until a shutdown is requested, then drain.
+
+        Installs SIGINT/SIGTERM handlers where the platform allows it
+        (the CLI's entry point); embedders that drive ``start`` and
+        ``shutdown`` directly are unaffected.
+        """
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, self._shutdown.set)
+        try:
+            await self._shutdown.wait()
+        finally:
+            await self.shutdown()
+
+    # -- HTTP plumbing --------------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, target, body = await self._read_request(reader)
+                status, payload = await self._dispatch(method, target, body)
+            except _HttpError as error:
+                status, payload = error.status, error.body
+            except (asyncio.IncompleteReadError, ConnectionError,
+                    ValueError) as error:
+                status, payload = 400, {"error": {
+                    "code": "bad-request", "message": str(error)}}
+            except Exception:   # noqa: BLE001 - last-resort boundary
+                logger.exception("unhandled error serving request")
+                status, payload = 500, {"error": {
+                    "code": "internal", "message": "unhandled server error"}}
+            await self._write_response(writer, status, payload)
+        finally:
+            with suppress(ConnectionError):
+                writer.close()
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader,
+                            ) -> Tuple[str, str, bytes]:
+        request_line = await reader.readline()
+        parts = request_line.split()
+        if len(parts) < 3:
+            raise _HttpError(400, "bad-request",
+                             f"malformed request line {request_line!r}")
+        method = parts[0].decode("latin-1").upper()
+        target = parts[1].decode("latin-1")
+        content_length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _HttpError(400, "bad-request",
+                                     "unparseable Content-Length") from None
+        if content_length > MAX_BODY_BYTES:
+            raise _HttpError(413, "payload-too-large",
+                             f"body exceeds {MAX_BODY_BYTES} bytes")
+        body = (await reader.readexactly(content_length)
+                if content_length else b"")
+        return method, target, body
+
+    @staticmethod
+    async def _write_response(writer: asyncio.StreamWriter, status: int,
+                              payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode()
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        with suppress(ConnectionError):
+            await writer.drain()
+
+    # -- routing --------------------------------------------------------
+
+    async def _dispatch(self, method: str, target: str, body: bytes,
+                        ) -> Tuple[int, Dict[str, Any]]:
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._require(method, "GET", path)
+            return 200, self._healthz()
+        if path == "/metrics":
+            self._require(method, "GET", path)
+            return 200, self._metrics_snapshot()
+        if path == "/jobs":
+            if method == "POST":
+                return self._submit(body)
+            self._require(method, "GET", path)
+            return 200, {"jobs": [job.to_status()
+                                  for job in self.store.jobs()]}
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            if rest.endswith("/result"):
+                self._require(method, "GET", path)
+                return 200, self._result(rest[:-len("/result")])
+            self._require(method, "GET", path)
+            return 200, self._status(rest)
+        raise _HttpError(404, "unknown-endpoint",
+                         f"no such endpoint: {method} {path}")
+
+    @staticmethod
+    def _require(method: str, expected: str, path: str) -> None:
+        if method != expected:
+            raise _HttpError(405, "method-not-allowed",
+                             f"{path} supports {expected} only")
+
+    def _get_job(self, job_id: str) -> Job:
+        job = self.store.get(job_id)
+        if job is None:
+            raise _HttpError(404, "unknown-job", f"no such job: {job_id}")
+        return job
+
+    # -- handlers -------------------------------------------------------
+
+    def _healthz(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "workers": self.pool.workers,
+            "workers_busy": self.pool.busy,
+            "queue_depth": self.queue.depth,
+            "jobs": self.store.counts(),
+            "uptime_s": round(host_now() - self._started_at, 3),
+        }
+
+    def _metrics_snapshot(self) -> Dict[str, Any]:
+        snapshot = self.metrics.current()
+        # Probes read as gauges on the wire: one flat map per kind.
+        gauges = dict(snapshot["gauges"])
+        gauges.update(snapshot["probes"])
+        return {"counters": snapshot["counters"], "gauges": gauges}
+
+    def _submit(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        try:
+            payload = json.loads(body or b"null")
+        except json.JSONDecodeError as error:
+            raise _HttpError(400, "invalid-json",
+                             f"request body is not JSON: {error}") from None
+        try:
+            spec = parse_job_spec(payload)
+        except SpecError as error:
+            raise _HttpError(400, "invalid-spec", "job spec failed "
+                             "validation", {"errors": error.errors},
+                             ) from None
+        self.metrics.counter("serve.jobs.submitted").inc()
+        job, deduped = self.store.submit(spec)
+        if deduped:
+            self.metrics.counter("serve.jobs.deduped").inc()
+            logger.info("deduped %s (digest %s, state %s)",
+                        job.id, spec.digest, job.state)
+            status = job.to_status()
+            status["deduped"] = True
+            # On the wire, "cached" means "the result is ready right
+            # now without new work" - true for any dedupe onto an
+            # already-completed job, however that job got its result.
+            if job.state == JobState.COMPLETED:
+                status["cached"] = True
+            return 200, status
+        if self._try_cache(job):
+            self.metrics.counter("serve.jobs.deduped").inc()
+            self.metrics.counter("serve.jobs.completed").inc()
+            logger.info("completed %s from cache (digest %s)",
+                        job.id, spec.digest)
+            status = job.to_status()
+            status["deduped"] = False
+            return 200, status
+        self.queue.put(job.id, spec.priority)
+        logger.info("queued %s: %s (digest %s, priority %d, %d run(s))",
+                    job.id, spec.kind, spec.digest, spec.priority,
+                    spec.total_runs)
+        status = job.to_status()
+        status["deduped"] = False
+        return 202, status
+
+    def _try_cache(self, job: Job) -> bool:
+        """Complete a job straight from the result cache if possible.
+
+        Only an *all-hit* job short-circuits: one miss means real work,
+        and partial grids go through the pool (whose Runner reuses the
+        cached entries anyway).
+        """
+        results: List[Dict[str, Any]] = []
+        for config in job.spec.configs:
+            cached = self.runner.peek(config)
+            if cached is None:
+                return False
+            results.append(result_to_dict(cached))
+        self.store.mark_completed(job, results, cached=True)
+        return True
+
+    def _status(self, job_id: str) -> Dict[str, Any]:
+        return self._get_job(job_id).to_status()
+
+    def _result(self, job_id: str) -> Dict[str, Any]:
+        job = self._get_job(job_id)
+        if job.state == JobState.FAILED:
+            raise _HttpError(500, "job-failed",
+                             job.error or "job failed",
+                             {"id": job.id, "digest": job.spec.digest})
+        if job.state == JobState.CANCELLED:
+            raise _HttpError(409, "job-cancelled",
+                             job.error or "job cancelled",
+                             {"id": job.id, "digest": job.spec.digest})
+        if job.state != JobState.COMPLETED or job.results is None:
+            raise _HttpError(409, "job-not-finished",
+                             f"job is {job.state}; poll GET /jobs/{job.id}",
+                             {"id": job.id, "state": job.state})
+        payload: Dict[str, Any] = {
+            "id": job.id,
+            "kind": job.spec.kind,
+            "digest": job.spec.digest,
+            "cached": job.cached,
+            "results": job.results,
+        }
+        if job.spec.kind == "run":
+            payload["result"] = job.results[0]
+        return payload

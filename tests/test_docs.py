@@ -10,7 +10,7 @@ ROOT = Path(__file__).parent.parent
 REQUIRED_DOCS = [
     "README.md", "DESIGN.md", "EXPERIMENTS.md",
     "docs/architecture.md", "docs/mechanisms.md", "docs/workloads.md",
-    "docs/extending.md", "docs/observability.md",
+    "docs/extending.md", "docs/observability.md", "docs/serving.md",
 ]
 
 

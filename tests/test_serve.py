@@ -1,0 +1,492 @@
+"""Tests for the ``repro serve`` job API: schemas, queue, store, pool,
+and a loopback end-to-end run of the real HTTP server in-process."""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.runner import Runner, result_to_dict
+from repro.serve import (
+    PRIORITY_BY_KIND,
+    JobState,
+    JobStore,
+    PriorityJobQueue,
+    ReproServer,
+    ServeError,
+    SpecError,
+    parse_job_spec,
+)
+from repro.serve.jobs import host_now
+
+SMALL_RUN = {"kind": "run", "workload": "hmmer", "policy": "Norm",
+             "scale": 0.05}
+
+
+def _errors_by_field(excinfo):
+    fields = {}
+    for entry in excinfo.value.errors:
+        fields.setdefault(entry["field"], []).append(entry["message"])
+    return fields
+
+
+# ---------------------------------------------------------------------------
+# Spec validation
+# ---------------------------------------------------------------------------
+
+class TestJobSpecValidation:
+    def test_run_spec_builds_one_config(self):
+        spec = parse_job_spec(SMALL_RUN)
+        assert spec.kind == "run"
+        assert spec.total_runs == 1
+        config = spec.configs[0]
+        assert config.workload == "hmmer"
+        assert config.policy_name == "Norm"
+        # scale applied at parse time, so digest == execution identity
+        assert config.measure_accesses == 6000
+        assert spec.digest == config.cache_digest()
+
+    def test_spec_is_idempotent_over_key_order_and_defaults(self):
+        explicit = parse_job_spec({"scale": 0.05, "policy": "Norm",
+                                   "workload": "hmmer", "kind": "run",
+                                   "seed": 1})
+        assert explicit.digest == parse_job_spec(SMALL_RUN).digest
+
+    def test_sweep_spec_builds_grid_workload_major(self):
+        spec = parse_job_spec({
+            "kind": "sweep", "workloads": ["lbm", "stream"],
+            "policies": ["Norm", "Slow+SC"], "scale": 0.05,
+        })
+        assert spec.total_runs == 4
+        assert [(c.workload, c.policy_name) for c in spec.configs] == [
+            ("lbm", "Norm"), ("lbm", "Slow+SC"),
+            ("stream", "Norm"), ("stream", "Slow+SC"),
+        ]
+        assert spec.priority == PRIORITY_BY_KIND["sweep"]
+
+    def test_faults_spec_builds_seed_grid_with_fault_config(self):
+        spec = parse_job_spec({"kind": "faults", "workload": "zeusmp",
+                               "policies": ["Norm"], "seeds": 3})
+        assert spec.total_runs == 3
+        assert [c.seed for c in spec.configs] == [1, 2, 3]
+        assert all(c.faults is not None for c in spec.configs)
+        assert spec.priority == PRIORITY_BY_KIND["faults"]
+
+    def test_non_object_spec_rejected(self):
+        with pytest.raises(SpecError) as excinfo:
+            parse_job_spec([1, 2, 3])
+        assert "$" in _errors_by_field(excinfo)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecError) as excinfo:
+            parse_job_spec({"kind": "frobnicate"})
+        assert "kind" in _errors_by_field(excinfo)
+
+    def test_all_errors_collected_in_one_pass(self):
+        with pytest.raises(SpecError) as excinfo:
+            parse_job_spec({"kind": "run", "workload": "nope",
+                            "policy": "Bogus", "priority": 42,
+                            "banks": 0, "mystery": 1})
+        fields = _errors_by_field(excinfo)
+        assert set(fields) == {"workload", "policy", "priority", "banks",
+                               "mystery"}
+
+    def test_unknown_field_names_the_kind(self):
+        with pytest.raises(SpecError) as excinfo:
+            parse_job_spec({"kind": "run", "workload": "hmmer",
+                            "workloads": ["lbm"]})
+        assert "unknown field for kind 'run'" in str(excinfo.value)
+
+    def test_bad_fault_knobs_rejected(self):
+        with pytest.raises(SpecError) as excinfo:
+            parse_job_spec({"kind": "run", "workload": "hmmer",
+                            "faults": {"sigma": -1, "bogus_knob": 2}})
+        fields = _errors_by_field(excinfo)
+        assert "faults" in fields
+        assert "faults.bogus_knob" in fields
+
+    def test_priority_override(self):
+        spec = parse_job_spec({**SMALL_RUN, "priority": 7})
+        assert spec.priority == 7
+
+    def test_type_confusion_rejected(self):
+        with pytest.raises(SpecError) as excinfo:
+            parse_job_spec({"kind": "run", "workload": 7,
+                            "seed": "one", "scale": True})
+        assert set(_errors_by_field(excinfo)) == {"workload", "seed",
+                                                  "scale"}
+
+    def test_sweep_requires_nonempty_lists(self):
+        with pytest.raises(SpecError) as excinfo:
+            parse_job_spec({"kind": "sweep", "workloads": [],
+                            "policies": ["Norm"]})
+        assert "workloads" in _errors_by_field(excinfo)
+
+
+# ---------------------------------------------------------------------------
+# Priority queue
+# ---------------------------------------------------------------------------
+
+class TestPriorityQueue:
+    def test_priority_then_fifo_order(self):
+        async def scenario():
+            queue = PriorityJobQueue()
+            queue.put("faults-a", 2)
+            queue.put("run-a", 0)
+            queue.put("sweep-a", 1)
+            queue.put("run-b", 0)
+            order = [await queue.get() for _ in range(4)]
+            assert order == ["run-a", "run-b", "sweep-a", "faults-a"]
+        asyncio.run(scenario())
+
+    def test_close_drains_then_returns_none(self):
+        async def scenario():
+            queue = PriorityJobQueue()
+            queue.put("only", 1)
+            queue.close()
+            assert await queue.get() == "only"
+            assert await queue.get() is None
+            with pytest.raises(RuntimeError):
+                queue.put("late", 0)
+        asyncio.run(scenario())
+
+    def test_cancel_pending_returns_queue_order(self):
+        queue = PriorityJobQueue()
+        queue.put("b", 5)
+        queue.put("a", 1)
+        assert queue.cancel_pending() == ["a", "b"]
+        assert queue.depth == 0
+
+
+# ---------------------------------------------------------------------------
+# Job store dedupe
+# ---------------------------------------------------------------------------
+
+class TestJobStore:
+    def test_same_digest_dedupes_to_one_job(self):
+        store = JobStore()
+        spec = parse_job_spec(SMALL_RUN)
+        job1, deduped1 = store.submit(spec)
+        job2, deduped2 = store.submit(parse_job_spec(dict(SMALL_RUN)))
+        assert not deduped1 and deduped2
+        assert job1.id == job2.id
+        assert len(store) == 1
+
+    def test_failed_job_does_not_absorb_resubmission(self):
+        store = JobStore()
+        spec = parse_job_spec(SMALL_RUN)
+        job1, _ = store.submit(spec)
+        store.mark_failed(job1, "boom")
+        job2, deduped = store.submit(spec)
+        assert not deduped
+        assert job2.id != job1.id
+
+    def test_counts_cover_every_state(self):
+        store = JobStore()
+        assert store.counts() == {state: 0 for state in JobState.ALL}
+
+
+# ---------------------------------------------------------------------------
+# Loopback server harness
+# ---------------------------------------------------------------------------
+
+class ServerHandle:
+    """Runs a real ReproServer on an ephemeral port in a thread."""
+
+    def __init__(self, tmp_path, workers=2, drain_timeout=10.0):
+        self.server = None
+        self._ready = threading.Event()
+        self._cache_dir = tmp_path / "serve_cache"
+        self._workers = workers
+        self._drain_timeout = drain_timeout
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._amain())
+
+    async def _amain(self):
+        self.server = ReproServer(
+            host="127.0.0.1", port=0, workers=self._workers,
+            drain_timeout=self._drain_timeout,
+            runner=Runner(cache_dir=self._cache_dir),
+        )
+        await self.server.start()
+        self._ready.set()
+        await self.server._shutdown.wait()
+        await self.server.shutdown()
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(10), "server never became ready"
+        return self
+
+    def __exit__(self, *_exc):
+        self.server.request_shutdown()
+        self._thread.join(30)
+        assert not self._thread.is_alive(), "server thread leaked"
+
+    @property
+    def port(self):
+        return self.server.port
+
+    def request(self, method, path, body=None):
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{self.port}{path}", data=data,
+            method=method, headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def wait_for(self, job_id, timeout=60.0):
+        deadline = host_now() + timeout
+        while host_now() < deadline:
+            _, status = self.request("GET", f"/jobs/{job_id}")
+            if status["state"] in (JobState.COMPLETED, JobState.FAILED,
+                                   JobState.CANCELLED):
+                return status
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} never finished")
+
+
+# ---------------------------------------------------------------------------
+# Loopback end-to-end
+# ---------------------------------------------------------------------------
+
+class TestLoopbackEndToEnd:
+    def test_submit_twice_executes_once_bit_identical(self, tmp_path):
+        """The acceptance-criteria scenario: two submissions of one
+        digest execute once, return bit-identical payloads, and count
+        exactly one dedupe in /metrics."""
+        with ServerHandle(tmp_path) as handle:
+            status1, sub1 = handle.request("POST", "/jobs", SMALL_RUN)
+            assert status1 == 202
+            status2, sub2 = handle.request("POST", "/jobs",
+                                           dict(SMALL_RUN))
+            assert status2 == 200
+            assert sub2["deduped"] is True
+            assert sub1["id"] == sub2["id"]
+            assert sub1["digest"] == sub2["digest"]
+
+            final = handle.wait_for(sub1["id"])
+            assert final["state"] == JobState.COMPLETED
+
+            _, result1 = handle.request(
+                "GET", f"/jobs/{sub1['id']}/result")
+            _, result2 = handle.request(
+                "GET", f"/jobs/{sub2['id']}/result")
+            assert result1 == result2
+            assert result1["digest"] == sub1["digest"]
+
+            # exactly one execution, bit-identical to a direct Runner
+            # run of the same config (fresh runner, same cache dir is
+            # NOT shared - the result must match by determinism alone)
+            expected = Runner(cache_dir=tmp_path / "direct").run(
+                parse_job_spec(SMALL_RUN).configs[0])
+            assert result1["result"] == result_to_dict(expected)
+
+            _, metrics = handle.request("GET", "/metrics")
+            counters = metrics["counters"]
+            assert counters["serve.jobs.submitted"] == 2
+            assert counters["serve.jobs.deduped"] == 1
+            assert counters["serve.jobs.completed"] == 1
+
+    def test_resubmit_after_completion_is_cached(self, tmp_path):
+        with ServerHandle(tmp_path) as handle:
+            _, sub1 = handle.request("POST", "/jobs", SMALL_RUN)
+            handle.wait_for(sub1["id"])
+            status, sub2 = handle.request("POST", "/jobs", SMALL_RUN)
+            assert status == 200
+            assert sub2["cached"] is True
+            assert sub2["id"] == sub1["id"]
+
+    def test_disk_cache_short_circuits_fresh_store(self, tmp_path):
+        """A digest already in .repro_cache completes with no queueing,
+        even though this server never executed it."""
+        config = parse_job_spec(SMALL_RUN).configs[0]
+        Runner(cache_dir=tmp_path / "serve_cache").run(config)
+        with ServerHandle(tmp_path) as handle:
+            status, sub = handle.request("POST", "/jobs", SMALL_RUN)
+            assert status == 200
+            assert sub["state"] == JobState.COMPLETED
+            assert sub["cached"] is True
+            _, metrics = handle.request("GET", "/metrics")
+            assert metrics["counters"]["serve.jobs.deduped"] == 1
+
+    def test_validation_error_is_structured_400(self, tmp_path):
+        with ServerHandle(tmp_path) as handle:
+            status, body = handle.request(
+                "POST", "/jobs", {"kind": "run", "workload": "nope"})
+            assert status == 400
+            assert body["error"]["code"] == "invalid-spec"
+            fields = {e["field"] for e in body["error"]["errors"]}
+            assert fields == {"workload"}
+
+    def test_invalid_json_is_structured_400(self, tmp_path):
+        with ServerHandle(tmp_path) as handle:
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{handle.port}/jobs",
+                data=b"{not json", method="POST")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=30)
+            assert excinfo.value.code == 400
+            body = json.loads(excinfo.value.read())
+            assert body["error"]["code"] == "invalid-json"
+
+    def test_unknown_job_and_endpoint_404(self, tmp_path):
+        with ServerHandle(tmp_path) as handle:
+            status, body = handle.request("GET", "/jobs/job-999999")
+            assert status == 404
+            assert body["error"]["code"] == "unknown-job"
+            status, body = handle.request("GET", "/nope")
+            assert status == 404
+            assert body["error"]["code"] == "unknown-endpoint"
+
+    def test_result_before_completion_conflicts(self, tmp_path):
+        with ServerHandle(tmp_path) as handle:
+            _, sub = handle.request("POST", "/jobs", SMALL_RUN)
+            status, body = handle.request(
+                "GET", f"/jobs/{sub['id']}/result")
+            if status == 409:   # may legitimately finish very fast
+                assert body["error"]["code"] == "job-not-finished"
+            handle.wait_for(sub["id"])
+
+    def test_method_not_allowed(self, tmp_path):
+        with ServerHandle(tmp_path) as handle:
+            status, body = handle.request("POST", "/healthz", {})
+            assert status == 405
+            assert body["error"]["code"] == "method-not-allowed"
+
+    def test_healthz_shape(self, tmp_path):
+        with ServerHandle(tmp_path) as handle:
+            status, body = handle.request("GET", "/healthz")
+            assert status == 200
+            assert body["status"] == "ok"
+            assert body["workers"] == 2
+            assert set(body["jobs"]) == set(JobState.ALL)
+
+    def test_jobs_listing(self, tmp_path):
+        with ServerHandle(tmp_path) as handle:
+            _, sub = handle.request("POST", "/jobs", SMALL_RUN)
+            _, listing = handle.request("GET", "/jobs")
+            assert [job["id"] for job in listing["jobs"]] == [sub["id"]]
+            handle.wait_for(sub["id"])
+
+
+# ---------------------------------------------------------------------------
+# Concurrency: one digest, many racing submissions
+# ---------------------------------------------------------------------------
+
+class TestConcurrentSubmissions:
+    def test_racing_submissions_execute_once(self, tmp_path):
+        with ServerHandle(tmp_path) as handle:
+            responses = []
+            lock = threading.Lock()
+
+            def submit():
+                response = handle.request("POST", "/jobs",
+                                          dict(SMALL_RUN))
+                with lock:
+                    responses.append(response)
+
+            threads = [threading.Thread(target=submit)
+                       for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30)
+            assert len(responses) == 8
+            ids = {body["id"] for _, body in responses}
+            assert len(ids) == 1, "racing submissions created >1 job"
+            job_id = ids.pop()
+            handle.wait_for(job_id)
+            _, metrics = handle.request("GET", "/metrics")
+            counters = metrics["counters"]
+            assert counters["serve.jobs.submitted"] == 8
+            assert counters["serve.jobs.deduped"] == 7
+            assert counters["serve.jobs.completed"] == 1
+            # single execution observed by the server's own runner
+            assert handle.server.runner.simulated == 1
+
+
+# ---------------------------------------------------------------------------
+# Graceful shutdown
+# ---------------------------------------------------------------------------
+
+class TestGracefulShutdown:
+    def test_drain_completes_queued_jobs(self, tmp_path):
+        """Shutdown immediately after submission still delivers the
+        result: the drain phase lets queued work finish."""
+        handle = ServerHandle(tmp_path, workers=1, drain_timeout=120.0)
+        with handle:
+            _, sub = handle.request("POST", "/jobs", SMALL_RUN)
+        # __exit__ ran request_shutdown + drain; inspect final state
+        job = handle.server.store.get(sub["id"])
+        assert job.state == JobState.COMPLETED
+        assert job.results is not None
+
+    def test_zero_deadline_cancels_queued_jobs(self, tmp_path):
+        """With no drain budget, queued jobs are cancelled, counted,
+        and evicted from the dedupe index."""
+        handle = ServerHandle(tmp_path, workers=1, drain_timeout=0.0)
+        with handle:
+            subs = [handle.request("POST", "/jobs",
+                                   {**SMALL_RUN, "seed": seed})[1]
+                    for seed in range(1, 4)]
+        states = {handle.server.store.get(sub["id"]).state
+                  for sub in subs}
+        # the first may be running (then cancelled) or even completed;
+        # the ones still queued must be cancelled, never silently lost
+        assert states <= {JobState.COMPLETED, JobState.CANCELLED}
+        assert JobState.CANCELLED in states
+        counts = handle.server.store.counts()
+        assert counts[JobState.QUEUED] == 0
+        assert counts[JobState.RUNNING] == 0
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+class TestServeCLI:
+    def test_rejects_zero_workers(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 1
+        err = capsys.readouterr().err
+        assert "--workers must be >= 1" in err
+        assert "Traceback" not in err
+
+    def test_rejects_negative_drain_timeout(self, capsys):
+        assert main(["serve", "--drain-timeout", "-1"]) == 1
+        assert "--drain-timeout cannot be negative" in \
+            capsys.readouterr().err
+
+    def test_rejects_out_of_range_port(self, capsys):
+        assert main(["serve", "--port", "70000"]) == 1
+        assert "port must be in [0, 65535]" in capsys.readouterr().err
+
+    def test_port_in_use_exits_one_with_clear_message(self, capsys):
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            assert main(["serve", "--port", str(port)]) == 1
+            err = capsys.readouterr().err
+            assert "already in use" in err
+            assert str(port) in err
+            assert "Traceback" not in err
+        finally:
+            blocker.close()
+
+    def test_server_rejects_bad_workers_directly(self):
+        with pytest.raises(ServeError):
+            ReproServer(workers=0)
