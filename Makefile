@@ -1,6 +1,7 @@
-# Developer entry points.  `make check` is the full local gauntlet; tools
-# that are not installed (ruff, mypy) are skipped with a notice so the
-# target works in minimal environments - CI installs them all.
+# Developer entry points.  `make check` is the full local gauntlet;
+# `repro check` skips tools that are not installed (ruff, mypy) with a
+# notice so the target works in minimal environments - CI passes
+# --require-tools and installs them all.
 
 PYTHON ?= python
 export PYTHONPATH := src
@@ -8,7 +9,9 @@ export PYTHONPATH := src
 .PHONY: check lint simlint typecheck test sanitize coverage \
 	bench-sanitizer trace-demo bench-telemetry bench-hotpath
 
-check: lint simlint typecheck test
+check:
+	$(PYTHON) -m repro check
+	$(PYTHON) -m pytest -x -q
 	@echo "check: all gates passed"
 
 lint:
@@ -16,8 +19,10 @@ lint:
 	then ruff check .; \
 	else echo "lint: ruff not installed, skipping (CI runs it)"; fi
 
+# Incremental by default (.simlint_cache); `repro lint --no-cache` for a
+# cold run.
 simlint:
-	$(PYTHON) -m repro lint src tests benchmarks
+	$(PYTHON) -m repro lint --stats src tests benchmarks examples
 
 typecheck:
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; \

@@ -25,7 +25,8 @@ from repro.core.policies import PAPER_POLICY_NAMES, parse_policy
 from repro.experiments.ablations import ALL_ABLATIONS
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.runner import Runner
-from repro.lint.cli import add_lint_arguments, cmd_lint
+from repro.lint.cli import (add_check_arguments, add_lint_arguments,
+                            cmd_check, cmd_lint)
 from repro.sim.config import SimConfig
 from repro.workloads.profiles import PROFILES, WORKLOAD_NAMES
 
@@ -609,6 +610,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_lint_arguments(lint_parser)
     lint_parser.set_defaults(handler=cmd_lint)
+
+    check_parser = subparsers.add_parser(
+        "check", help="umbrella static checking: simlint + ruff + mypy",
+    )
+    add_check_arguments(check_parser)
+    check_parser.set_defaults(handler=cmd_check)
 
     return parser
 

@@ -12,17 +12,21 @@ Two layers share this package:
 See ``docs/static-analysis.md`` for the rule catalogue and invariant list.
 """
 
-from repro.lint.engine import LintOptions, lint_paths, lint_source
+from repro.lint.engine import (LintOptions, LintReport, analyze_paths,
+                               lint_paths, lint_source)
 from repro.lint.findings import Finding, RuleInfo, summarize
-from repro.lint.rules import RULES
+from repro.lint.rules import RULES, RULESET_VERSION
 from repro.lint.sanitize import InvariantViolation, env_enabled, resolve
 
 __all__ = [
     "Finding",
     "InvariantViolation",
     "LintOptions",
+    "LintReport",
     "RULES",
+    "RULESET_VERSION",
     "RuleInfo",
+    "analyze_paths",
     "env_enabled",
     "lint_paths",
     "lint_source",

@@ -1,0 +1,113 @@
+"""Incremental analysis cache: per-file results keyed by content hash.
+
+One JSON file (``<dir>/cache.json``) holds, per linted file, the
+sha256 of its content plus the full per-file analysis payload (raw
+findings for *all* rules, suppressions, and the module summary used by
+the cross-file phase).  A warm run therefore re-analyses only edited
+files; the project fixpoint is recomputed every run from the cached
+summaries, which costs no parsing.
+
+Invalidation is total on either a cache-format bump
+(:data:`CACHE_FORMAT`) or a rule-semantics bump
+(:data:`repro.lint.rules.RULESET_VERSION`): both are stored in the
+header and any mismatch discards every entry.  Entries are keyed by
+path and validated by digest, so options like ``--select`` never enter
+the key - the cached payload is option-independent by construction
+(filtering happens after the merge).
+
+Writes are atomic (temp file + ``os.replace`` in the same directory)
+and entries for files that no longer exist are pruned, so the cache
+cannot grow without bound or be torn by a crashed run - while partial
+runs (one subdirectory, a pre-commit hook's staged files) keep the
+rest of the tree's warm entries intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: On-disk layout version of the cache file itself.
+CACHE_FORMAT = 1
+
+
+class AnalysisCache:
+    """Load/store per-file analysis payloads under one directory."""
+
+    def __init__(self, directory: Path, ruleset_version: str) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / "cache.json"
+        self.ruleset_version = ruleset_version
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict):
+            return
+        if data.get("format") != CACHE_FORMAT:
+            return
+        if data.get("ruleset") != self.ruleset_version:
+            return
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def get(self, path: str, digest: str) -> Optional[Dict[str, Any]]:
+        """Cached analysis for ``path`` at exactly this content digest."""
+        entry = self._entries.get(path)
+        if entry is not None and entry.get("digest") == digest:
+            self.hits += 1
+            analysis = entry.get("analysis")
+            if isinstance(analysis, dict):
+                return analysis
+        self.misses += 1
+        return None
+
+    def put(self, path: str, digest: str, analysis: Dict[str, Any]) -> None:
+        self._entries[path] = {"digest": digest, "analysis": analysis}
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist atomically, dropping entries for deleted files.
+
+        Pruning is by existence, not by this run's target set: linting
+        one subdirectory (or a pre-commit hook linting two staged
+        files) must not evict the rest of the tree's warm entries.
+        """
+        pruned = {p: e for p, e in self._entries.items()
+                  if os.path.exists(p)}
+        if pruned.keys() != self._entries.keys():
+            self._entries = pruned
+            self._dirty = True
+        if not self._dirty:
+            return
+        payload = {
+            "format": CACHE_FORMAT,
+            "ruleset": self.ruleset_version,
+            "entries": self._entries,
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=str(self.directory), prefix=".cache-", suffix=".tmp",
+            delete=False)
+        try:
+            with handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(handle.name, self.path)
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self._dirty = False

@@ -1,23 +1,44 @@
-"""``repro lint`` subcommand: run simlint, report, optionally benchmark.
+"""``repro lint`` and ``repro check`` subcommands.
 
-Exit codes: 0 = clean, 1 = findings, 2 = usage error.  ``--bench`` instead
-measures the runtime sanitizer's overhead on the smoke-sweep configs and
-verifies sanitized results are bit-identical to unsanitized ones.
+``repro lint`` runs simlint with the incremental cache and can emit
+text, JSON, or SARIF 2.1.0.  Exit codes: 0 = clean, 1 = findings,
+2 = usage error.  ``--bench`` instead measures the runtime sanitizer's
+overhead on the smoke-sweep configs and verifies sanitized results are
+bit-identical to unsanitized ones.
+
+``repro check`` is the umbrella verb: simlint over the whole tree plus
+``ruff`` and ``mypy`` when those tools are installed.  Missing tools
+are skipped with a note by default (the local environment need not
+carry them); CI passes ``--require-tools`` to turn a missing tool into
+a failure instead of a silent gap.
 """
 
 from __future__ import annotations
 
 import argparse
+import shutil
+import subprocess
 import sys
 import time
-from typing import List, Optional
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
-from repro.lint.engine import LintOptions, lint_paths
+from repro.lint.engine import LintOptions, LintReport, analyze_paths
 from repro.lint.findings import findings_to_json, summarize
 from repro.lint.rules import RULES
+from repro.lint.sarif import sarif_json
+
+if TYPE_CHECKING:   # pragma: no cover - typing only
+    from repro.sim.config import SimConfig
 
 #: Default lint target when no paths are given.
 DEFAULT_PATHS = ("src",)
+
+#: Default incremental-cache location (relative to the CWD).
+DEFAULT_CACHE_DIR = ".simlint_cache"
+
+#: What ``repro check`` lints: the whole tree, not just src.
+CHECK_PATHS = ("src", "tests", "benchmarks", "examples")
 
 #: Workload/policy grid for ``--bench`` (mirrors the CI smoke sweep).
 BENCH_WORKLOADS = ("lbm", "stream")
@@ -28,17 +49,53 @@ BENCH_SCALE = 0.05
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
                         help="files or directories to lint (default: src)")
-    parser.add_argument("--format", choices=["text", "json"], default="text",
+    parser.add_argument("--format", choices=["text", "json", "sarif"],
+                        default="text",
                         help="report format (default: text)")
+    parser.add_argument("--output", default=None,
+                        help="write the report to this file instead of stdout")
     parser.add_argument("--select", default=None,
                         help="comma-separated rule ids to run exclusively")
     parser.add_argument("--ignore", default=None,
                         help="comma-separated rule ids to skip")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel analysis processes (default 1)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="incremental cache directory "
+                             f"(default {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the incremental cache for this run")
+    parser.add_argument("--stats", action="store_true",
+                        help="print cache/timing statistics to stderr")
+    parser.add_argument("--report-unused-suppressions",
+                        dest="report_unused",
+                        action=argparse.BooleanOptionalAction, default=True,
+                        help="emit SIM100 for suppressions that matched "
+                             "no finding (default: on)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     parser.add_argument("--bench", action="store_true",
                         help="measure sanitizer overhead on the smoke sweep "
                              "instead of linting")
+
+
+def add_check_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("paths", nargs="*", default=list(CHECK_PATHS),
+                        help="directories to check "
+                             f"(default: {' '.join(CHECK_PATHS)})")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel simlint processes (default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable simlint's incremental cache")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="simlint cache directory "
+                             f"(default {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--require-tools", action="store_true",
+                        help="fail when ruff or mypy is not installed "
+                             "instead of skipping it (CI mode)")
+    parser.add_argument("--sarif", default=None,
+                        help="also write the simlint findings as SARIF "
+                             "to this file")
 
 
 def _split_rules(text: Optional[str]) -> Optional[List[str]]:
@@ -54,43 +111,131 @@ def _print_rule_catalogue() -> None:
         print(f"    fix: {info.hint}")
 
 
+def _emit(text: str, output: Optional[str]) -> None:
+    if output is None:
+        print(text)
+    else:
+        Path(output).write_text(text + "\n")
+
+
+def _run_lint(args: argparse.Namespace) -> Tuple[Optional[LintReport], int]:
+    """Shared lint driver; returns (report, exit_code)."""
+    try:
+        options = LintOptions(
+            select=_split_rules(args.select),
+            ignore=_split_rules(args.ignore) or (),
+            report_unused=args.report_unused,
+        )
+        cache_dir = None if args.no_cache else Path(args.cache_dir)
+        report = analyze_paths(args.paths, options,
+                               jobs=args.jobs, cache_dir=cache_dir)
+    except (ValueError, FileNotFoundError) as error:
+        print(error, file=sys.stderr)
+        return None, 2
+    return report, 1 if report.findings else 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         _print_rule_catalogue()
         return 0
     if args.bench:
         return run_bench()
-    try:
-        options = LintOptions(
-            select=_split_rules(args.select),
-            ignore=_split_rules(args.ignore) or (),
-        )
-        findings = lint_paths(args.paths, options)
-    except (ValueError, FileNotFoundError) as error:
-        print(error, file=sys.stderr)
-        return 2
+    report, code = _run_lint(args)
+    if report is None:
+        return code
+    findings = report.findings
     if args.format == "json":
-        print(findings_to_json(findings))
+        _emit(findings_to_json(findings), args.output)
+    elif args.format == "sarif":
+        _emit(sarif_json(findings), args.output)
     else:
-        for finding in findings:
-            print(finding.format_text())
+        lines = [finding.format_text() for finding in findings]
         counts = summarize(findings)
         if findings:
-            print(
+            lines.append(
                 f"\n{counts['total']} finding(s): "
                 f"{counts['by_severity']['error']} error(s), "
                 f"{counts['by_severity']['warning']} warning(s)"
             )
         else:
-            print("simlint: no findings")
-    return 1 if findings else 0
+            lines.append("simlint: no findings")
+        _emit("\n".join(lines), args.output)
+    if args.stats:
+        print(
+            f"simlint: {report.files} file(s), {report.analyzed} analyzed, "
+            f"{report.cached} from cache, {report.elapsed_s:.2f}s",
+            file=sys.stderr,
+        )
+    return code
+
+
+# --------------------------------------------------------------------------
+# repro check: simlint + ruff + mypy under one verb
+# --------------------------------------------------------------------------
+
+def _run_tool(name: str, command: List[str],
+              require: bool) -> Tuple[str, int]:
+    """Run an external checker; returns (status_word, exit_code)."""
+    if shutil.which(command[0]) is None:
+        if require:
+            print(f"check: {name}: NOT INSTALLED (--require-tools)",
+                  file=sys.stderr)
+            return "missing", 1
+        return "skipped (not installed)", 0
+    completed = subprocess.run(command, check=False)
+    if completed.returncode != 0:
+        return "FAILED", 1
+    return "ok", 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Umbrella static checking: simlint, then ruff, then mypy."""
+    failures = 0
+    statuses: List[Tuple[str, str]] = []
+
+    report, lint_code = _run_lint(argparse.Namespace(
+        paths=args.paths, select=None, ignore=None,
+        report_unused=True, jobs=args.jobs,
+        no_cache=args.no_cache, cache_dir=args.cache_dir,
+    ))
+    if report is None:
+        return 2
+    for finding in report.findings:
+        print(finding.format_text())
+    if args.sarif is not None:
+        Path(args.sarif).write_text(sarif_json(report.findings) + "\n")
+    statuses.append((
+        "simlint",
+        "ok" if lint_code == 0 else f"{len(report.findings)} finding(s)",
+    ))
+    failures += lint_code
+    print(
+        f"check: simlint {report.files} file(s), "
+        f"{report.analyzed} analyzed, {report.cached} from cache, "
+        f"{report.elapsed_s:.2f}s",
+        file=sys.stderr,
+    )
+
+    for name, command in (
+        ("ruff", ["ruff", "check", *args.paths]),
+        ("mypy", ["mypy"]),
+    ):
+        status, code = _run_tool(name, command, args.require_tools)
+        statuses.append((name, status))
+        failures += code
+
+    width = max(len(name) for name, _ in statuses)
+    for name, status in statuses:
+        print(f"check: {name:<{width}}  {status}")
+    return 1 if failures else 0
 
 
 # --------------------------------------------------------------------------
 # Sanitizer overhead benchmark
 # --------------------------------------------------------------------------
 
-def _bench_configs():
+def _bench_configs() -> Tuple[List["SimConfig"], List["SimConfig"]]:
     from dataclasses import replace
 
     from repro.sim.config import SimConfig
@@ -102,7 +247,7 @@ def _bench_configs():
     return configs, [replace(c, sanitize=True) for c in configs]
 
 
-def _time_runs(configs) -> float:
+def _time_runs(configs: Sequence["SimConfig"]) -> float:
     from repro.sim.system import run_simulation
     start = time.perf_counter()   # simlint: ignore[SIM003] -- measuring host runtime is the point of --bench
     for config in configs:

@@ -1,13 +1,17 @@
-"""simlint engine: file discovery, suppression comments, rule selection.
+"""simlint engine: discovery, caching, suppressions, rule selection.
 
-The engine turns paths into findings:
+The engine turns paths into findings in four phases:
 
-1. discover ``*.py`` files under each requested path;
-2. parse each file and run the rule set (:mod:`repro.lint.rules`);
-3. drop findings suppressed by a same-line ``# simlint: ignore[...]``
-   comment;
-4. apply ``--select`` / ``--ignore`` rule filtering;
-5. return findings sorted by location.
+1. **discover + hash** - expand ``*.py`` files and sha256 their content;
+2. **per-file analysis** (cacheable, parallelisable with ``jobs``) -
+   parse, run the syntactic rules (SIM001-SIM010), the per-file
+   completeness rule (SIM012), extract the module summary
+   (:mod:`repro.lint.graph`) and the suppression comments;
+3. **project phase** - link every summary (cached or fresh) and run the
+   cross-file rules SIM011/SIM013 (:mod:`repro.lint.taint`);
+4. **finalize** - drop SIM001/SIM003 findings subsumed by a SIM011
+   witness, apply suppressions and ``--select``/``--ignore``, and
+   report unused suppressions as SIM100.
 
 Suppression syntax (mirrors ``noqa``)::
 
@@ -16,18 +20,29 @@ Suppression syntax (mirrors ``noqa``)::
 
 Anything after the closing bracket is a free-form justification; writing
 one is strongly encouraged and the repo's own suppressions all carry one.
+Suppressions are parsed from real COMMENT tokens (via :mod:`tokenize`),
+so the syntax appearing inside a string literal - like the example two
+paragraphs up - is inert.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
+import io
 import re
-from dataclasses import dataclass
+import time
+import tokenize
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.lint.cache import AnalysisCache
 from repro.lint.findings import Finding, sort_findings
-from repro.lint.rules import RULES, check_source
+from repro.lint.graph import build_module_summary
+from repro.lint.rules import RULES, RULESET_VERSION, check_source
+from repro.lint.taint import check_cache_completeness, check_project
 
 _SUPPRESS_RE = re.compile(
     r"#\s*simlint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9,\s]*)\])?"
@@ -36,6 +51,12 @@ _SUPPRESS_RE = re.compile(
 #: Suppression entry meaning "every rule".
 ALL_RULES = "*"
 
+#: Rule ids a suppression can never target (synthetic/meta findings).
+_UNSUPPRESSABLE = frozenset({"SIM000", "SIM100"})
+
+#: Syntactic rules subsumed by an interprocedural SIM011 witness.
+_SUBSUMED_BY_SIM011 = frozenset({"SIM001", "SIM003"})
+
 
 @dataclass(frozen=True)
 class LintOptions:
@@ -43,6 +64,10 @@ class LintOptions:
 
     select: Optional[Sequence[str]] = None   # only these rule ids
     ignore: Sequence[str] = ()               # minus these rule ids
+    #: Emit SIM100 for ``simlint: ignore`` comments that matched no
+    #: finding.  On by default: a stale suppression is a latent bug
+    #: (the hazard it hid may have moved one line down).
+    report_unused: bool = True
 
     def __post_init__(self) -> None:
         for rule_id in [*(self.select or ()), *self.ignore]:
@@ -58,44 +83,196 @@ class LintOptions:
         return rule_id not in self.ignore
 
 
-def parse_suppressions(source: str) -> Dict[int, Set[str]]:
-    """Map line number -> set of suppressed rule ids (or ``{"*"}``)."""
-    suppressions: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
+@dataclass
+class LintReport:
+    """Findings plus run statistics (cache effectiveness, timing)."""
+
+    findings: List[Finding]
+    files: int = 0
+    analyzed: int = 0      # files parsed + visited this run
+    cached: int = 0        # files served from the incremental cache
+    elapsed_s: float = 0.0
+
+
+# --------------------------------------------------------------------------
+# Suppressions
+# --------------------------------------------------------------------------
+
+def extract_suppressions(source: str) -> Dict[int, Dict[str, Any]]:
+    """Line -> ``{"rules": [...], "col": n}`` from real comment tokens.
+
+    Only COMMENT tokens count: a suppression spelled inside a string
+    literal or docstring does not suppress (and is not reported as
+    unused).  Falls back to a line-regex scan if tokenization fails,
+    which can only happen for files that also fail ``ast.parse``.
+    """
+    comments: List[Tuple[int, int, str]] = []
+    try:
+        reader = io.StringIO(source).readline
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                comments.append(
+                    (token.start[0], token.start[1] + 1, token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            index = line.find("#")
+            if index >= 0:
+                comments.append((lineno, index + 1, line[index:]))
+    suppressions: Dict[int, Dict[str, Any]] = {}
+    for lineno, col, text in comments:
+        match = _SUPPRESS_RE.search(text)
         if match is None:
             continue
         rules_text = match.group("rules")
         if rules_text is None:
-            suppressions[lineno] = {ALL_RULES}
-            continue
-        rules = {r.strip().upper() for r in rules_text.split(",") if r.strip()}
-        suppressions[lineno] = rules or {ALL_RULES}
+            rules = [ALL_RULES]
+        else:
+            parsed = sorted({r.strip().upper()
+                             for r in rules_text.split(",") if r.strip()})
+            rules = parsed or [ALL_RULES]
+        suppressions[lineno] = {"rules": rules, "col": col}
     return suppressions
 
 
-def _suppressed(finding: Finding,
-                suppressions: Dict[int, Set[str]]) -> bool:
-    rules = suppressions.get(finding.line)
-    if rules is None:
-        return False
-    return ALL_RULES in rules or finding.rule_id in rules
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of suppressed rule ids (or ``{"*"}``)."""
+    return {line: set(info["rules"])
+            for line, info in extract_suppressions(source).items()}
 
+
+def _matches(rule_id: str, rules: Sequence[str]) -> bool:
+    return ALL_RULES in rules or rule_id in rules
+
+
+# --------------------------------------------------------------------------
+# Per-file analysis (phase 2; cacheable and process-parallel)
+# --------------------------------------------------------------------------
+
+def _analyze_source(path: str, source: str) -> Dict[str, Any]:
+    """Raw per-file payload; raises SyntaxError on unparsable input."""
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    findings = list(check_source(path, tree, lines))
+    summary = build_module_summary(path, tree, lines)
+    findings.extend(check_cache_completeness(summary, lines))
+    return {
+        "findings": [asdict(finding) for finding in findings],
+        "suppressions": {
+            str(line): info
+            for line, info in extract_suppressions(source).items()
+        },
+        "summary": summary,
+    }
+
+
+def _syntax_error_analysis(path: str, error: SyntaxError) -> Dict[str, Any]:
+    finding = Finding(
+        rule_id="SIM000", severity="error", path=path,
+        line=error.lineno or 1, column=(error.offset or 0) + 1,
+        message=f"syntax error: {error.msg}",
+        hint="simlint only checks files that parse",
+    )
+    return {"findings": [asdict(finding)], "suppressions": {},
+            "summary": None}
+
+
+def _unreadable_analysis(path: str, error: Exception) -> Dict[str, Any]:
+    finding = Finding(
+        rule_id="SIM000", severity="error", path=path,
+        line=1, column=1, message=f"unreadable file: {error}",
+        hint="fix the file encoding or permissions",
+    )
+    return {"findings": [asdict(finding)], "suppressions": {},
+            "summary": None}
+
+
+def _pool_worker(item: Tuple[str, str]) -> Tuple[str, Dict[str, Any]]:
+    """Top-level (picklable) per-file analysis for ``--jobs``."""
+    path, source = item
+    try:
+        return path, _analyze_source(path, source)
+    except SyntaxError as error:
+        return path, _syntax_error_analysis(path, error)
+
+
+# --------------------------------------------------------------------------
+# Finalize (phase 4)
+# --------------------------------------------------------------------------
+
+def _finalize(per_file: Dict[str, Dict[str, Any]],
+              project_findings: List[Finding],
+              subsumed: Set[Tuple[str, int]],
+              options: LintOptions,
+              sources: Dict[str, Sequence[str]]) -> List[Finding]:
+    raw: List[Finding] = list(project_findings)
+    for analysis in per_file.values():
+        raw.extend(Finding(**data) for data in analysis["findings"])
+
+    # A suppression is "used" when ANY raw finding matches it - before
+    # select/ignore filtering and before SIM011 subsumption, so the
+    # unused-suppression verdict never depends on this run's options.
+    used: Set[Tuple[str, int]] = set()
+    for finding in raw:
+        if finding.rule_id in _UNSUPPRESSABLE:
+            continue
+        info = per_file.get(finding.path, {}).get(
+            "suppressions", {}).get(str(finding.line))
+        if info is not None and _matches(finding.rule_id, info["rules"]):
+            used.add((finding.path, finding.line))
+
+    subsume = options.enabled("SIM011")
+    kept: List[Finding] = []
+    for finding in raw:
+        if finding.rule_id != "SIM000":
+            if not options.enabled(finding.rule_id):
+                continue
+            if (subsume and finding.rule_id in _SUBSUMED_BY_SIM011
+                    and (finding.path, finding.line) in subsumed):
+                continue
+            info = per_file.get(finding.path, {}).get(
+                "suppressions", {}).get(str(finding.line))
+            if info is not None and _matches(finding.rule_id, info["rules"]):
+                continue
+        kept.append(finding)
+
+    if options.report_unused and options.enabled("SIM100"):
+        meta = RULES["SIM100"]
+        for path in sorted(per_file):
+            suppressions = per_file[path].get("suppressions", {})
+            for line_text in sorted(suppressions, key=int):
+                line = int(line_text)
+                if (path, line) in used:
+                    continue
+                info = suppressions[line_text]
+                listed = ", ".join(info["rules"])
+                lines = sources.get(path)
+                snippet = ""
+                if lines is not None and 1 <= line <= len(lines):
+                    snippet = str(lines[line - 1]).strip()
+                kept.append(Finding(
+                    rule_id="SIM100", severity=meta.severity, path=path,
+                    line=line, column=int(info["col"]),
+                    message=f"suppression ignore[{listed}] matches no "
+                            "finding on this line",
+                    hint=meta.hint, snippet=snippet,
+                ))
+    return sort_findings(kept)
+
+
+# --------------------------------------------------------------------------
+# Entry points
+# --------------------------------------------------------------------------
 
 def lint_source(source: str, path: str = "<string>",
                 options: Optional[LintOptions] = None) -> List[Finding]:
     """Lint one source string; raises SyntaxError on unparsable input."""
     options = options if options is not None else LintOptions()
-    tree = ast.parse(source, filename=path)
-    lines = source.splitlines()
-    suppressions = parse_suppressions(source)
-    findings = [
-        finding
-        for finding in check_source(path, tree, lines)
-        if options.enabled(finding.rule_id)
-        and not _suppressed(finding, suppressions)
-    ]
-    return sort_findings(findings)
+    analysis = _analyze_source(path, source)
+    per_file = {path: analysis}
+    sources: Dict[str, Sequence[str]] = {path: source.splitlines()}
+    summaries = [analysis["summary"]] if analysis["summary"] else []
+    project_findings, subsumed = check_project(summaries, sources)
+    return _finalize(per_file, project_findings, subsumed, options, sources)
 
 
 def discover_files(paths: Iterable[Path]) -> List[Path]:
@@ -111,32 +288,78 @@ def discover_files(paths: Iterable[Path]) -> List[Path]:
     return sorted(seen)
 
 
-def lint_paths(paths: Iterable[Path],
-               options: Optional[LintOptions] = None) -> List[Finding]:
-    """Lint every Python file under ``paths``.
+def analyze_paths(paths: Iterable[Any],
+                  options: Optional[LintOptions] = None, *,
+                  jobs: int = 1,
+                  cache_dir: Optional[Path] = None) -> LintReport:
+    """Lint every Python file under ``paths`` with full statistics.
 
-    Unparsable files surface as a synthetic ``SIM000`` error finding rather
-    than aborting the run, so one syntax error cannot hide every other
-    finding in a tree.
+    ``cache_dir`` enables the incremental cache (per-file results keyed
+    by content hash + :data:`RULESET_VERSION`); ``jobs > 1`` analyses
+    cache misses on a process pool.  Unparsable/unreadable files surface
+    as synthetic ``SIM000`` error findings rather than aborting the run,
+    so one syntax error cannot hide every other finding in a tree.
     """
-    findings: List[Finding] = []
-    for file_path in discover_files(Path(p) for p in paths):
+    options = options if options is not None else LintOptions()
+    started = time.perf_counter()   # simlint: ignore[SIM003] -- lint-run wall time is host-side tooling statistics
+    files = discover_files(Path(p) for p in paths)
+
+    cache: Optional[AnalysisCache] = None
+    if cache_dir is not None:
+        cache = AnalysisCache(Path(cache_dir), RULESET_VERSION)
+
+    per_file: Dict[str, Dict[str, Any]] = {}
+    sources: Dict[str, Sequence[str]] = {}
+    pending: List[Tuple[str, str, str]] = []   # (path, source, digest)
+    cached_count = 0
+
+    for file_path in files:
+        path = str(file_path)
         try:
             source = file_path.read_text()
         except (OSError, UnicodeDecodeError) as error:
-            findings.append(Finding(
-                rule_id="SIM000", severity="error", path=str(file_path),
-                line=1, column=1, message=f"unreadable file: {error}",
-                hint="fix the file encoding or permissions",
-            ))
+            per_file[path] = _unreadable_analysis(path, error)
             continue
-        try:
-            findings.extend(lint_source(source, str(file_path), options))
-        except SyntaxError as error:
-            findings.append(Finding(
-                rule_id="SIM000", severity="error", path=str(file_path),
-                line=error.lineno or 1, column=(error.offset or 0) + 1,
-                message=f"syntax error: {error.msg}",
-                hint="simlint only checks files that parse",
-            ))
-    return sort_findings(findings)
+        sources[path] = source.splitlines()
+        digest = hashlib.sha256(source.encode()).hexdigest()
+        entry = cache.get(path, digest) if cache is not None else None
+        if entry is not None:
+            per_file[path] = entry
+            cached_count += 1
+        else:
+            pending.append((path, source, digest))
+
+    if jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            analysed = dict(pool.map(
+                _pool_worker, [(p, s) for p, s, _ in pending]))
+        for path, _source, digest in pending:
+            per_file[path] = analysed[path]
+            if cache is not None:
+                cache.put(path, digest, analysed[path])
+    else:
+        for path, source, digest in pending:
+            analysis = _pool_worker((path, source))[1]
+            per_file[path] = analysis
+            if cache is not None:
+                cache.put(path, digest, analysis)
+
+    if cache is not None:
+        cache.save()
+
+    summaries = [analysis["summary"] for _, analysis in sorted(per_file.items())
+                 if analysis["summary"] is not None]
+    project_findings, subsumed = check_project(summaries, sources)
+    findings = _finalize(per_file, project_findings, subsumed, options,
+                         sources)
+    elapsed = time.perf_counter() - started   # simlint: ignore[SIM003] -- lint-run wall time is host-side tooling statistics
+    return LintReport(
+        findings=findings, files=len(files), analyzed=len(pending),
+        cached=cached_count, elapsed_s=elapsed,
+    )
+
+
+def lint_paths(paths: Iterable[Any],
+               options: Optional[LintOptions] = None) -> List[Finding]:
+    """Back-compat wrapper over :func:`analyze_paths` (findings only)."""
+    return analyze_paths(paths, options).findings

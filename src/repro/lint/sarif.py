@@ -1,0 +1,169 @@
+"""SARIF 2.1.0 output for simlint findings.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format GitHub code scanning ingests; ``repro lint
+--format sarif`` emits one run with the full rule catalogue in
+``tool.driver.rules`` and every finding as a ``result`` carrying its
+rule index, level, message (including SIM011 witness paths), and
+physical location.
+
+:func:`validate_sarif` re-checks the structural requirements of the
+2.1.0 schema that matter for ingestion (required properties, level
+vocabulary, rule-id consistency, 1-based regions) without needing a
+schema validator installed; the test suite runs it over generated
+reports and CI uploads them via ``codeql-action/upload-sarif``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.rules import RULES, RULESET_VERSION
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: simlint severity -> SARIF result level.
+_LEVELS = {"error": "error", "warning": "warning"}
+
+#: The SARIF 2.1.0 ``level`` vocabulary.
+VALID_LEVELS = frozenset({"none", "note", "warning", "error"})
+
+
+def _rule_entry(rule_id: str) -> Dict[str, Any]:
+    info = RULES.get(rule_id)
+    if info is None:
+        # Synthetic rules (SIM000 parse/read errors) have no catalogue
+        # entry; emit a minimal valid descriptor so every result's
+        # ruleId resolves.
+        return {
+            "id": rule_id,
+            "name": "file-error",
+            "shortDescription": {"text": "file could not be analysed"},
+            "defaultConfiguration": {"level": "error"},
+        }
+    return {
+        "id": info.rule_id,
+        "name": info.name,
+        "shortDescription": {"text": info.summary},
+        "fullDescription": {"text": info.summary},
+        "help": {"text": info.hint},
+        "defaultConfiguration": {"level": _LEVELS[info.severity]},
+    }
+
+
+def sarif_report(findings: Sequence[Finding]) -> Dict[str, Any]:
+    """Findings -> a complete SARIF 2.1.0 document (as a dict)."""
+    rule_ids = sorted({f.rule_id for f in findings} | set(RULES))
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results: List[Dict[str, Any]] = []
+    for finding in findings:
+        results.append({
+            "ruleId": finding.rule_id,
+            "ruleIndex": rule_index[finding.rule_id],
+            "level": _LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": max(1, finding.column),
+                    },
+                },
+            }],
+        })
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "simlint",
+                    "informationUri":
+                        "https://example.invalid/repro/docs/static-analysis",
+                    "version": RULESET_VERSION,
+                    "rules": [_rule_entry(rule_id) for rule_id in rule_ids],
+                },
+            },
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+
+
+def sarif_json(findings: Sequence[Finding]) -> str:
+    return json.dumps(sarif_report(findings), indent=2, sort_keys=True)
+
+
+def validate_sarif(document: Any) -> List[str]:
+    """Structural 2.1.0 conformance errors (empty list = valid)."""
+    errors: List[str] = []
+    if not isinstance(document, dict):
+        return ["document is not an object"]
+    if document.get("version") != SARIF_VERSION:
+        errors.append(f"version must be {SARIF_VERSION!r}")
+    runs = document.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return [*errors, "runs must be a non-empty array"]
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        if not isinstance(run, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        driver = run.get("tool", {}).get("driver") \
+            if isinstance(run.get("tool"), dict) else None
+        if not isinstance(driver, dict) or not isinstance(
+                driver.get("name"), str):
+            errors.append(f"{where}.tool.driver.name missing")
+            continue
+        rules = driver.get("rules", [])
+        known_ids = set()
+        for rule_index, rule in enumerate(rules):
+            rwhere = f"{where}.tool.driver.rules[{rule_index}]"
+            if not isinstance(rule, dict) or not isinstance(
+                    rule.get("id"), str):
+                errors.append(f"{rwhere}.id missing")
+                continue
+            known_ids.add(rule["id"])
+            short = rule.get("shortDescription")
+            if not (isinstance(short, dict)
+                    and isinstance(short.get("text"), str)):
+                errors.append(f"{rwhere}.shortDescription.text missing")
+        for result_index, result in enumerate(run.get("results", [])):
+            rwhere = f"{where}.results[{result_index}]"
+            if not isinstance(result, dict):
+                errors.append(f"{rwhere} is not an object")
+                continue
+            rule_id = result.get("ruleId")
+            if not isinstance(rule_id, str):
+                errors.append(f"{rwhere}.ruleId missing")
+            elif known_ids and rule_id not in known_ids:
+                errors.append(f"{rwhere}.ruleId {rule_id!r} not in rules")
+            if result.get("level") not in VALID_LEVELS:
+                errors.append(f"{rwhere}.level invalid")
+            message = result.get("message")
+            if not (isinstance(message, dict)
+                    and isinstance(message.get("text"), str)):
+                errors.append(f"{rwhere}.message.text missing")
+            for loc_index, location in enumerate(result.get("locations", [])):
+                lwhere = f"{rwhere}.locations[{loc_index}]"
+                physical = location.get("physicalLocation") \
+                    if isinstance(location, dict) else None
+                if not isinstance(physical, dict):
+                    errors.append(f"{lwhere}.physicalLocation missing")
+                    continue
+                artifact = physical.get("artifactLocation")
+                if not (isinstance(artifact, dict)
+                        and isinstance(artifact.get("uri"), str)):
+                    errors.append(f"{lwhere}...artifactLocation.uri missing")
+                region = physical.get("region")
+                if isinstance(region, dict):
+                    start = region.get("startLine")
+                    if not isinstance(start, int) or start < 1:
+                        errors.append(f"{lwhere}...region.startLine invalid")
+    return errors

@@ -18,13 +18,17 @@ running or done returns the *same* job instead of executing twice.
 Failed and cancelled jobs are evicted from the index, so resubmission
 after a failure retries cleanly.
 
-All state transitions happen on the server's event loop; the only
-fields a worker thread touches are the integer progress counters,
-which are single assignments and therefore safe under the GIL.
+Job and store state is mutated from the server's event loop *and*
+from executor threads (progress publication, see
+:meth:`JobStore.set_progress`), so both classes are marked
+``simlint: thread-shared`` and every mutation goes through the store's
+re-entrant lock - simlint's SIM013 rule enforces that invariant
+statically across the asyncio/thread-pool boundary.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
@@ -39,7 +43,7 @@ def host_now() -> float:
     nothing here feeds back into a result - so reading the host clock
     is correct, and this single suppressed call site documents that.
     """
-    return time.monotonic()   # simlint: ignore[SIM003]
+    return time.monotonic()   # simlint: ignore[SIM003] -- service uptime, never feeds a result
 
 
 class JobState:
@@ -59,7 +63,7 @@ class JobState:
 
 
 @dataclass
-class Job:
+class Job:   # simlint: thread-shared (mutate via JobStore under its lock)
     """One submitted job and everything the status endpoints report."""
 
     id: str
@@ -104,10 +108,16 @@ class Job:
         return status
 
 
-class JobStore:
-    """Insertion-ordered job registry with a digest dedupe index."""
+class JobStore:   # simlint: thread-shared (event loop + executor threads)
+    """Insertion-ordered job registry with a digest dedupe index.
+
+    The store's re-entrant lock serialises every mutation: lifecycle
+    transitions arrive from the event loop while progress updates
+    (:meth:`set_progress`) arrive from executor threads mid-run.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._jobs: Dict[str, Job] = {}
         self._by_digest: Dict[str, str] = {}
         self._next_id = 0
@@ -129,45 +139,56 @@ class JobStore:
         second execution.  A digest whose previous job failed or was
         cancelled gets a fresh job (retry semantics).
         """
-        existing_id = self._by_digest.get(spec.digest)
-        if existing_id is not None:
-            existing = self._jobs[existing_id]
-            if existing.state in JobState.DEDUPE_TARGETS:
-                return existing, True
-        self._next_id += 1
-        job = Job(id=f"job-{self._next_id:06d}", spec=spec)
-        self._jobs[job.id] = job
-        self._by_digest[spec.digest] = job.id
-        return job, False
+        with self._lock:
+            existing_id = self._by_digest.get(spec.digest)
+            if existing_id is not None:
+                existing = self._jobs[existing_id]
+                if existing.state in JobState.DEDUPE_TARGETS:
+                    return existing, True
+            self._next_id += 1
+            job = Job(id=f"job-{self._next_id:06d}", spec=spec)
+            self._jobs[job.id] = job
+            self._by_digest[spec.digest] = job.id
+            return job, False
 
     def mark_running(self, job: Job) -> None:
-        job.state = JobState.RUNNING
-        job.started_at = host_now()
+        with self._lock:
+            job.state = JobState.RUNNING
+            job.started_at = host_now()
+
+    def set_progress(self, job: Job, completed: int) -> None:
+        """Publish mid-run progress (called from executor threads)."""
+        with self._lock:
+            job.completed_runs = completed
 
     def mark_completed(self, job: Job, results: List[Dict[str, Any]],
                        cached: bool = False) -> None:
-        job.results = results
-        job.completed_runs = job.total_runs
-        job.cached = cached
-        job.state = JobState.COMPLETED
-        job.finished_at = host_now()
+        with self._lock:
+            job.results = results
+            job.completed_runs = job.total_runs
+            job.cached = cached
+            job.state = JobState.COMPLETED
+            job.finished_at = host_now()
 
     def mark_failed(self, job: Job, error: str) -> None:
-        job.error = error
-        job.state = JobState.FAILED
-        job.finished_at = host_now()
-        self._drop_index(job)
+        with self._lock:
+            job.error = error
+            job.state = JobState.FAILED
+            job.finished_at = host_now()
+            self._drop_index(job)
 
     def mark_cancelled(self, job: Job, reason: str) -> None:
-        job.error = reason
-        job.state = JobState.CANCELLED
-        job.finished_at = host_now()
-        self._drop_index(job)
+        with self._lock:
+            job.error = reason
+            job.state = JobState.CANCELLED
+            job.finished_at = host_now()
+            self._drop_index(job)
 
     def _drop_index(self, job: Job) -> None:
         """Failed/cancelled jobs stop absorbing duplicate submissions."""
-        if self._by_digest.get(job.spec.digest) == job.id:
-            del self._by_digest[job.spec.digest]
+        with self._lock:
+            if self._by_digest.get(job.spec.digest) == job.id:
+                del self._by_digest[job.spec.digest]
 
     def counts(self) -> Dict[str, int]:
         """Jobs per state, every state present (zeros included)."""

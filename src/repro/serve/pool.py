@@ -19,6 +19,7 @@ thread abandoned; results it may still produce are discarded.
 from __future__ import annotations
 
 import asyncio
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List
 
@@ -28,7 +29,7 @@ from repro.serve.queue import PriorityJobQueue
 from repro.telemetry.metrics import MetricRegistry
 
 
-class WorkerPool:
+class WorkerPool:   # simlint: thread-shared (busy counter vs event loop)
     """``workers`` concurrent job executors over one thread pool."""
 
     def __init__(self, queue: PriorityJobQueue, store: JobStore,
@@ -37,6 +38,7 @@ class WorkerPool:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self._lock = threading.Lock()
         self._queue = queue
         self._store = store
         self._runner = runner
@@ -53,16 +55,18 @@ class WorkerPool:
     def start(self) -> None:
         """Spawn the worker tasks on the running event loop."""
         loop = asyncio.get_running_loop()
-        self._tasks = [
-            loop.create_task(self._worker(), name=f"repro-worker-{i}")
-            for i in range(self.workers)
-        ]
+        with self._lock:
+            self._tasks = [
+                loop.create_task(self._worker(), name=f"repro-worker-{i}")
+                for i in range(self.workers)
+            ]
 
     def _execute(self, job: Job) -> List[Dict[str, Any]]:
         """Blocking job execution (runs on an executor thread)."""
         def on_progress(event: SweepProgress) -> None:
-            # Single int assignment: safe to publish from this thread.
-            job.completed_runs = event.completed
+            # Publish through the store so the cross-thread mutation
+            # happens under the store lock (SIM013).
+            self._store.set_progress(job, event.completed)
 
         results = self._runner.sweep(
             list(job.spec.configs), jobs=1, progress=on_progress,
@@ -80,7 +84,8 @@ class WorkerPool:
             if job is None or job.state != JobState.QUEUED:
                 continue          # cancelled while waiting in the heap
             self._store.mark_running(job)
-            self._busy += 1
+            with self._lock:
+                self._busy += 1
             self._metrics.gauge("serve.workers.busy").set(self._busy)
             try:
                 results = await loop.run_in_executor(
@@ -98,7 +103,8 @@ class WorkerPool:
                 self._store.mark_completed(job, results)
                 self._metrics.counter("serve.jobs.completed").inc()
             finally:
-                self._busy -= 1
+                with self._lock:
+                    self._busy -= 1
                 self._metrics.gauge("serve.workers.busy").set(self._busy)
 
     async def drain(self, timeout: float) -> List[str]:

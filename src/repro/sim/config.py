@@ -12,6 +12,24 @@ from repro.core.policies import WritePolicy, parse_policy
 from repro.faults.config import FaultConfig
 
 
+#: SIM012 registry: SimConfig fields deliberately OUTSIDE cache_key().
+#: Every entry must state why the field cannot affect results; simlint
+#: errors if a field is neither keyed nor listed here, and also if an
+#: entry goes stale (no such field) or contradicts the key (listed AND
+#: read by cache_key()).  Observe-only knobs live here so traced,
+#: sanitized and plain runs share cache entries bit-for-bit.
+CACHE_KEY_EXCLUDED = {
+    "sanitize": "runtime sanitizer is read-only; sanitized runs are "
+                "bit-identical to plain runs and share cache entries",
+    "telemetry": "telemetry is observe-only; traced runs are "
+                 "bit-identical to untraced ones",
+    "telemetry_dir": "output location of the telemetry bundle, not an "
+                     "input to the simulation",
+    "telemetry_trace_capacity": "ring-buffer size only bounds how much "
+                                "trace is kept, never what is simulated",
+}
+
+
 def digest_for_key(key: Any) -> str:
     """Stable hex digest of a cache key.
 
