@@ -250,36 +250,93 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_target(args: argparse.Namespace):
+    """The store the maintenance verbs operate on.
+
+    ``--cache-url`` wins over ``--cache-dir``; with neither, environment
+    resolution applies (``REPRO_CACHE_URL`` then ``REPRO_CACHE_DIR``).
+    ``REPRO_NO_CACHE`` is ignored on purpose - inspecting or clearing an
+    on-disk cache must work even where caching is disabled for runs.
+    """
+    from repro.store import StoreURLError, resolve_store
+    try:
+        return resolve_store(cache_dir=args.cache_dir, url=args.cache_url,
+                             respect_no_cache=False)
+    except StoreURLError as error:
+        raise CLIError(str(error)) from None
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import (
+    import json as json_module
+
+    from repro.store import (
+        StoreURLError,
         cache_clear,
         cache_stats,
         cache_verify,
-        resolve_cache_dir,
+        store_from_url,
+        sync_stores,
     )
-    cache_dir = resolve_cache_dir(args.cache_dir)
-    if args.action == "stats":
-        stats = cache_stats(cache_dir)
-        table = Table(title=f"Result cache: {stats['cache_dir']}",
-                      columns=["stat", "value"])
-        table.add_row("entries", stats["entries"])
-        table.add_row("total_bytes", stats["total_bytes"])
-        table.add_row("valid", stats["valid"])
-        table.add_row("invalid", stats["invalid"])
-        for schema, count in sorted(stats["schema_versions"].items()):
-            table.add_row(f"schema {schema}", count)
-        print(render(table))
+
+    if args.action == "sync":
+        if not args.src or not args.dst:
+            raise CLIError(
+                "cache sync needs source and destination store URLs: "
+                "repro cache sync <src-url> <dst-url>")
+        try:
+            src = store_from_url(args.src)
+            dst = store_from_url(args.dst)
+        except StoreURLError as error:
+            raise CLIError(str(error)) from None
+        try:
+            report = sync_stores(src, dst)
+        finally:
+            src.close()
+            dst.close()
+        if args.json:
+            print(json_module.dumps(report.as_dict(), indent=2))
+        else:
+            print(f"synced {src.description} -> {dst.description}: "
+                  f"{report.entries_copied} entries and "
+                  f"{report.bundles_copied} bundles copied "
+                  f"({report.bytes_copied} bytes), "
+                  f"{report.entries_skipped + report.bundles_skipped} "
+                  "already present")
         return 0
-    if args.action == "verify":
-        report = cache_verify(cache_dir)
-        print(f"{report['ok']} entries ok in {report['cache_dir']}")
-        for bad in report["bad"]:
-            print(f"BAD {bad['path']}: {bad['error']}", file=sys.stderr)
-        return 1 if report["bad"] else 0
-    if args.action == "clear":
-        removed = cache_clear(cache_dir)
-        print(f"removed {removed} files from {cache_dir}")
-        return 0
+
+    if args.src is not None or args.dst is not None:
+        raise CLIError(f"cache {args.action} takes no positional arguments")
+    store = _cache_target(args)
+    try:
+        if args.action == "stats":
+            stats = cache_stats(store)
+            if args.json:
+                print(json_module.dumps(stats, indent=2, sort_keys=True))
+                return 0
+            table = Table(title=f"Result cache: {stats['cache_dir']}",
+                          columns=["stat", "value"])
+            table.add_row("backend", stats["backend"])
+            table.add_row("entries", stats["entries"])
+            table.add_row("total_bytes", stats["total_bytes"])
+            table.add_row("valid", stats["valid"])
+            table.add_row("invalid", stats["invalid"])
+            table.add_row("telemetry_bundles", stats["telemetry_bundles"])
+            for schema, count in sorted(stats["schema_versions"].items()):
+                table.add_row(f"schema {schema}", count)
+            print(render(table))
+            return 0
+        if args.action == "verify":
+            report = cache_verify(store)
+            print(f"{report['ok']} entries ok in {report['cache_dir']}")
+            for bad in report["bad"]:
+                print(f"BAD {bad['path']}: {bad['error']}", file=sys.stderr)
+            return 1 if report["bad"] else 0
+        if args.action == "clear":
+            removed = cache_clear(store)
+            print(f"removed {removed} objects from {store.description}")
+            return 0
+    finally:
+        store.close()
     print(f"unknown cache action {args.action!r}", file=sys.stderr)
     return 2
 
@@ -527,12 +584,26 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.set_defaults(handler=cmd_sweep)
 
     cache_parser = subparsers.add_parser(
-        "cache", help="inspect or maintain the result cache",
+        "cache", help="inspect, maintain, or replicate the result cache",
     )
-    cache_parser.add_argument("action", choices=["stats", "verify", "clear"])
+    cache_parser.add_argument(
+        "action", choices=["stats", "verify", "clear", "sync"])
+    cache_parser.add_argument(
+        "src", nargs="?", default=None,
+        help="sync only: source store URL (e.g. file:.repro_cache)")
+    cache_parser.add_argument(
+        "dst", nargs="?", default=None,
+        help="sync only: destination store URL (e.g. sqlite:cache.db)")
     cache_parser.add_argument("--cache-dir", default=None,
                               help="cache location (default REPRO_CACHE_DIR "
                                    "or .repro_cache)")
+    cache_parser.add_argument("--cache-url", default=None,
+                              help="store URL (file:<dir>, sqlite:<db>, "
+                                   "memory:, tiered:<local>|<remote>); "
+                                   "wins over --cache-dir")
+    cache_parser.add_argument("--json", action="store_true",
+                              help="emit machine-readable JSON "
+                                   "(stats and sync)")
     cache_parser.set_defaults(handler=cmd_cache)
 
     figure_parser = subparsers.add_parser(

@@ -1,19 +1,27 @@
-"""Parallel sweep driver with a persistent, concurrency-safe result cache.
+"""Parallel sweep driver over a pluggable, concurrency-safe result store.
 
 Figures 10-16 all read the same 11x9 (workload x policy) sweep; the cache
 lets each bench regenerate its figure without re-simulating runs another
-bench already produced.  Results are stored as versioned JSON entries keyed
-by a digest of the full :class:`SimConfig`, so any parameter change
-invalidates cleanly.
+bench already produced.  Results are stored as versioned JSON entries
+(:mod:`repro.store.codec`) keyed by a digest of the full
+:class:`SimConfig`, so any parameter change invalidates cleanly.
+
+Where those bytes live is the :mod:`repro.store` layer's business: the
+runner talks to one :class:`~repro.store.Store` (directory of files,
+single SQLite database, in-memory dict, or a tiered composition) selected
+by ``REPRO_CACHE_URL``.  Backend choice never enters a cache key, so the
+same config yields bit-identical entries in every backend and ``repro
+cache sync`` can replicate a warm cache anywhere.
 
 :meth:`Runner.sweep` fans cache misses out over a
 ``concurrent.futures.ProcessPoolExecutor``.  Each run is seeded entirely by
 its config, so parallel results are bit-identical to serial ones; workers
-return plain dicts and the parent process owns all cache writes.  Cache
-writes are atomic (write-to-temp + ``os.replace``) so concurrent sweeps
-sharing one cache directory can never expose a half-written entry, and any
-unreadable entry - truncated JSON, schema drift, a stale pre-versioning
-file - logs a warning and falls back to re-simulation instead of crashing.
+return plain dicts and the parent process owns all store traffic.  Entry
+commits are atomic per backend (write-to-temp + ``os.replace``, or one
+SQLite transaction) so concurrent sweeps sharing one store can never
+expose a half-written entry, and any unreadable entry - truncated JSON,
+schema drift, a stale pre-versioning file - logs a warning and falls back
+to re-simulation instead of crashing.
 
 Environment knobs:
 
@@ -21,141 +29,69 @@ Environment knobs:
   benches use ~0.25 for quick runs).
 * ``REPRO_JOBS``        - worker processes for sweeps (default: all cores).
 * ``REPRO_WORKLOADS``   - comma-separated subset of workloads to sweep.
-* ``REPRO_CACHE_DIR``   - cache location (default ``.repro_cache`` in cwd).
-* ``REPRO_NO_CACHE=1``  - disable the persistent cache.
+* ``REPRO_CACHE_URL``   - store backend (``file:<dir>``, ``sqlite:<db>``,
+  ``memory:``, ``tiered:<local>|<remote>``; see ``docs/storage.md``).
+* ``REPRO_CACHE_DIR``   - cache directory (default ``.repro_cache``);
+  a file-backend shorthand that ``REPRO_CACHE_URL`` overrides.
+* ``REPRO_NO_CACHE=1``  - nothing persists (an in-memory store is
+  injected in place of the configured backend).
 """
 
 from __future__ import annotations
 
-import json
 import logging
 import os
-import shutil
-import tempfile
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from repro.endurance.wear import BankWearRecord
-from repro.sim.config import SimConfig, digest_for_key
+# Serialisation lives in repro.store.codec these days; re-exported here
+# because this module is the historic home every caller imports from.
+from repro.sim.config import SimConfig, digest_for_key  # noqa: F401  (re-export)
 from repro.sim.stats import RunResult
 from repro.sim.system import run_simulation
+from repro.store import (
+    CACHE_SCHEMA_VERSION,
+    CacheEntryError,
+    Store,
+    atomic_write_text,
+    cache_clear,
+    cache_stats,
+    cache_verify,
+    entry_from_json,
+    entry_to_json,
+    export_bundle_dir,
+    read_bundle_dir,
+    resolve_store,
+    result_from_dict,
+    result_to_dict,
+)
 from repro.telemetry import bundle_is_complete
 from repro.workloads.profiles import WORKLOAD_NAMES
 
-logger = logging.getLogger(__name__)
-
-#: Bump whenever the on-disk entry layout or RunResult serialisation
-#: changes; entries with any other version re-simulate.
-CACHE_SCHEMA_VERSION = 3
-
-#: RunResult fields with structured (non-scalar) serialisations.
-_COMPOSITE_FIELDS = ("bank_utilizations", "wear_records")
-
-#: Derived from the dataclass itself so a field added to RunResult is
-#: serialised automatically instead of being silently dropped; a new
-#: composite field must be added to _COMPOSITE_FIELDS (and given explicit
-#: encode/decode logic below) or it will round-trip as-is and fail the
-#: strict key check in result_from_dict.
-_SCALAR_FIELDS = [
-    f.name for f in fields(RunResult) if f.name not in _COMPOSITE_FIELDS
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheEntryError",
+    "ProgressCallback",
+    "Runner",
+    "SweepProgress",
+    "atomic_write_text",
+    "cache_clear",
+    "cache_stats",
+    "cache_verify",
+    "default_jobs",
+    "default_runner",
+    "entry_from_json",
+    "entry_to_json",
+    "resolve_cache_dir",
+    "result_from_dict",
+    "result_to_dict",
+    "scale_factor",
+    "selected_workloads",
 ]
 
-
-class CacheEntryError(RuntimeError):
-    """A cache file exists but cannot be trusted (corrupt or stale)."""
-
-
-def result_to_dict(result: RunResult) -> dict:
-    data = {name: getattr(result, name) for name in _SCALAR_FIELDS}
-    data["bank_utilizations"] = list(result.bank_utilizations)
-    data["wear_records"] = [
-        {
-            "normal": record.normal_writes,
-            "slow": {str(k): v for k, v in record.slow_writes_by_factor.items()},
-        }
-        for record in result.wear_records
-    ]
-    return data
-
-
-def result_from_dict(data: dict) -> RunResult:
-    # Strict key-set check: a payload written by a different RunResult
-    # layout (field added or removed) must read as a cache miss, not load
-    # with fields quietly zeroed.
-    expected = set(_SCALAR_FIELDS) | set(_COMPOSITE_FIELDS)
-    actual = set(data)
-    if actual != expected:
-        raise ValueError(
-            "RunResult payload keys drifted: "
-            f"missing={sorted(expected - actual)} "
-            f"unexpected={sorted(actual - expected)}"
-        )
-    data = dict(data)
-    bank_utilizations = data.pop("bank_utilizations")
-    records = []
-    for item in data.pop("wear_records"):
-        record = BankWearRecord(normal_writes=item["normal"])
-        record.slow_writes_by_factor = {
-            float(k): v for k, v in item["slow"].items()
-        }
-        records.append(record)
-    result = RunResult(**data)
-    result.wear_records = records
-    result.bank_utilizations = bank_utilizations
-    return result
-
-
-def entry_to_json(config: SimConfig, result: RunResult) -> str:
-    """Serialise one cache entry (schema version + key + result)."""
-    return json.dumps({
-        "schema": CACHE_SCHEMA_VERSION,
-        "key": list(config.cache_key()),
-        "result": result_to_dict(result),
-    })
-
-
-def entry_from_json(text: str) -> RunResult:
-    """Parse a cache entry, raising :class:`CacheEntryError` on anything
-    short of a well-formed current-schema entry."""
-    try:
-        data = json.loads(text)
-    except json.JSONDecodeError as error:
-        raise CacheEntryError(f"invalid JSON: {error}") from error
-    if not isinstance(data, dict) or "schema" not in data:
-        raise CacheEntryError("pre-versioning cache entry")
-    if data["schema"] != CACHE_SCHEMA_VERSION:
-        raise CacheEntryError(
-            f"schema {data['schema']!r} != {CACHE_SCHEMA_VERSION}"
-        )
-    try:
-        return result_from_dict(data["result"])
-    except (KeyError, TypeError, ValueError) as error:
-        raise CacheEntryError(f"undecodable result: {error!r}") from error
-
-
-def atomic_write_text(path: Path, text: str) -> None:
-    """Write ``text`` to ``path`` so readers never see a partial file.
-
-    The temp file lives in the target directory so ``os.replace`` stays on
-    one filesystem and is atomic; concurrent writers of the same key
-    last-write-win with either complete entry.
-    """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(text)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+logger = logging.getLogger(__name__)
 
 
 def scale_factor() -> float:
@@ -205,39 +141,58 @@ def _simulate_to_dict(config: SimConfig) -> dict:
 
     Returning a dict (rather than a RunResult) keeps the IPC payload
     decoupled from dataclass layout and is exactly what the parent writes
-    to disk; the parent process owns all cache traffic.  Telemetry is the
-    one exception: when the config carries a ``telemetry_dir`` the worker
-    writes the bundle itself at end of run (atomically, manifest last),
-    so no telemetry payload crosses the process boundary.
+    to the store; the parent process owns all store traffic.  Telemetry is
+    the one exception: when the config carries a ``telemetry_dir`` the
+    worker writes the bundle itself at end of run (atomically, manifest
+    last) - for filesystem-native backends that directory *is* the stored
+    bundle, for every other backend the parent ingests it afterwards.
     """
     return result_to_dict(run_simulation(config))
 
 
 class Runner:
-    """Runs configs through the simulator with memo + disk caching."""
+    """Runs configs through the simulator with memo + store caching."""
 
-    def __init__(self, cache_dir: Optional[Path] = None) -> None:
-        if cache_dir is None:
-            cache_dir = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
-        self.cache_dir = cache_dir
-        self.disk_cache = os.environ.get("REPRO_NO_CACHE", "0") != "1"
+    def __init__(self, cache_dir: Optional[Path] = None,
+                 store: Optional[Store] = None) -> None:
+        if store is None:
+            store = resolve_store(cache_dir=cache_dir)
+        self.store = store
+        # Kept for file-backend introspection (tests, legacy tooling);
+        # None whenever entries do not live in a directory.
+        self.cache_dir: Optional[Path] = getattr(store, "root", None)
         self._memo: Dict[tuple, RunResult] = {}
         self.simulated = 0
         self.cache_hits = 0
 
     def _path_for(self, config: SimConfig) -> Path:
-        return self.cache_dir / f"{config.cache_digest()}.json"
+        path = self.store.entry_path(config.cache_digest())
+        if path is None:
+            raise RuntimeError(
+                f"{self.store.kind} store keeps entries internally; "
+                "there is no per-entry file path")
+        return path
 
     def _telemetry_path(self, config: SimConfig) -> Path:
-        """Default telemetry bundle location: next to the cache entry."""
-        return self.cache_dir / f"{config.cache_digest()}.telemetry"
+        """Default telemetry bundle location for this store.
+
+        Filesystem-native backends expose the bundle's real home
+        (zero-copy: the simulator writes the bundle in place); all others
+        get a per-store staging directory whose bundles are ingested via
+        :meth:`Store.put_bundle` after the run.
+        """
+        digest = config.cache_digest()
+        native = self.store.bundle_path(digest)
+        if native is not None:
+            return native
+        return self.store.staging_root() / f"{digest}.telemetry"
 
     def _with_telemetry_dir(self, config: SimConfig) -> SimConfig:
         """Give a telemetry-enabled config a concrete output directory.
 
         Filling the default in here (rather than inside the simulator)
-        keeps telemetry files co-located with the cache entry of the same
-        digest.  ``telemetry_dir`` is not part of cache_key(), so this
+        keeps telemetry bundles keyed by the cache digest of the same
+        run.  ``telemetry_dir`` is not part of cache_key(), so this
         substitution never changes cache identity.
         """
         if config.telemetry and config.telemetry_dir is None:
@@ -245,48 +200,65 @@ class Runner:
                 config, telemetry_dir=str(self._telemetry_path(config)))
         return config
 
-    @staticmethod
-    def _telemetry_satisfied(config: SimConfig) -> bool:
+    def _telemetry_satisfied(self, config: SimConfig) -> bool:
         """Whether a cached result alone satisfies this config.
 
-        A telemetry-enabled config also needs a complete bundle on disk;
-        if it is missing, the run re-simulates (producing a bit-identical
-        result, since telemetry never perturbs the simulation) purely to
-        regenerate the bundle.
+        A telemetry-enabled config also needs a complete bundle; if it is
+        missing, the run re-simulates (producing a bit-identical result,
+        since telemetry never perturbs the simulation) purely to
+        regenerate the bundle.  Runner-managed destinations defer to the
+        store (which may hold the bundle internally); a user-chosen
+        ``telemetry_dir`` must be complete on disk where the user asked.
         """
         if not config.telemetry or config.telemetry_dir is None:
             return True
+        if config.telemetry_dir == str(self._telemetry_path(config)):
+            return self.store.has_bundle(config.cache_digest())
         return bundle_is_complete(Path(config.telemetry_dir))
 
-    def _load_disk(self, config: SimConfig) -> Optional[RunResult]:
-        """Fetch from disk; any unreadable entry warns and reads as a miss."""
-        if not self.disk_cache:
-            return None
-        path = self._path_for(config)
+    def _load_store(self, config: SimConfig) -> Optional[RunResult]:
+        """Fetch from the store; any unreadable entry warns and reads as
+        a miss."""
+        digest = config.cache_digest()
         try:
-            text = path.read_text()
-        except FileNotFoundError:
-            return None
+            data = self.store.get(digest)
         except OSError as error:
             logger.warning("cache read failed for %s (%s); re-simulating",
-                           path, error)
+                           self.store.location(digest), error)
+            return None
+        if data is None:
             return None
         try:
-            return entry_from_json(text)
-        except CacheEntryError as error:
+            return entry_from_json(data.decode("utf-8"))
+        except (CacheEntryError, UnicodeDecodeError) as error:
             logger.warning("discarding cache entry %s (%s); re-simulating",
-                           path, error)
-            try:
-                path.unlink()
-            except OSError:
-                pass
+                           self.store.location(digest), error)
+            self.store.delete(digest)
             return None
 
-    def _store(self, config: SimConfig, result: RunResult) -> None:
+    def _ingest_bundle(self, config: SimConfig) -> None:
+        """Commit a freshly simulated staging bundle into the store.
+
+        No-op for filesystem-native backends (the simulator already wrote
+        the bundle into the store's own layout) and for user-chosen
+        destinations (the bundle stays where the user asked).
+        """
+        if not config.telemetry or config.telemetry_dir is None:
+            return
+        digest = config.cache_digest()
+        if self.store.bundle_path(digest) is not None:
+            return
+        if config.telemetry_dir != str(self._telemetry_path(config)):
+            return
+        files = read_bundle_dir(Path(config.telemetry_dir))
+        if files is not None:
+            self.store.put_bundle(digest, files)
+
+    def _store_result(self, config: SimConfig, result: RunResult) -> None:
         self._memo[config.cache_key()] = result
-        if self.disk_cache:
-            atomic_write_text(self._path_for(config),
-                              entry_to_json(config, result))
+        self.store.put(config.cache_digest(),
+                       entry_to_json(config, result).encode("utf-8"))
+        self._ingest_bundle(config)
 
     def peek(self, config: SimConfig) -> Optional[RunResult]:
         """A cached result if one exists - never simulates.
@@ -302,7 +274,7 @@ class Runner:
         if key in self._memo:
             self.cache_hits += 1
             return self._memo[key]
-        result = self._load_disk(config)
+        result = self._load_store(config)
         if result is not None:
             self._memo[key] = result
             self.cache_hits += 1
@@ -315,14 +287,14 @@ class Runner:
             if key in self._memo:
                 self.cache_hits += 1
                 return self._memo[key]
-            result = self._load_disk(config)
+            result = self._load_store(config)
             if result is not None:
                 self._memo[key] = result
                 self.cache_hits += 1
                 return result
         result = run_simulation(config)
         self.simulated += 1
-        self._store(config, result)
+        self._store_result(config, result)
         return result
 
     def run_traced(self, config: SimConfig) -> "tuple[RunResult, Path]":
@@ -331,12 +303,20 @@ class Runner:
         The result is bit-identical to an untraced run of the same config
         and shares its cache entry; the second element is the directory
         holding the telemetry bundle (metrics/heatmap/traces/manifest).
+        Backends that keep bundles internally (sqlite, memory) export the
+        stored bundle into the returned directory on cache hits, so the
+        caller always finds real files there.
         """
         config = self._with_telemetry_dir(
             replace(config, telemetry=True))
         result = self.run(config)
         assert config.telemetry_dir is not None
-        return result, Path(config.telemetry_dir)
+        bundle_dir = Path(config.telemetry_dir)
+        if not bundle_is_complete(bundle_dir):
+            files = self.store.get_bundle(config.cache_digest())
+            if files is not None:
+                export_bundle_dir(files, bundle_dir)
+        return result, bundle_dir
 
     def scaled(self, config: SimConfig) -> RunResult:
         """Run with window lengths scaled by REPRO_SCALE."""
@@ -383,7 +363,7 @@ class Runner:
                     result=result, from_cache=from_cache,
                 ))
 
-        # Resolve memo/disk hits up front; group the misses by cache key
+        # Resolve memo/store hits up front; group the misses by cache key
         # (plus telemetry destination - a traced and an untraced grid
         # point share a result but not a bundle) so duplicate grid points
         # cost one simulation.
@@ -401,7 +381,7 @@ class Runner:
                     results[i] = self._memo[key]
                     report(i, results[i], from_cache=True)
                     continue
-                cached = self._load_disk(config)
+                cached = self._load_store(config)
                 if cached is not None:
                     self._memo[key] = cached
                     self.cache_hits += 1
@@ -412,7 +392,7 @@ class Runner:
 
         def finish(indices: List[int], result: RunResult) -> None:
             self.simulated += 1
-            self._store(configs[indices[0]], result)
+            self._store_result(configs[indices[0]], result)
             for j, index in enumerate(indices):
                 if j:
                     self.cache_hits += 1
@@ -439,97 +419,16 @@ class Runner:
 
 # ---------------------------------------------------------------------------
 # Cache maintenance (backs the ``repro cache`` CLI subcommand)
+#
+# The implementations live in repro.store.maintenance and speak to any
+# backend; cache_stats / cache_verify / cache_clear are re-exported above.
 # ---------------------------------------------------------------------------
 
 def resolve_cache_dir(cache_dir: Optional[Path] = None) -> Path:
+    """Historic file-backend cache location (pre-URL callers)."""
     if cache_dir is not None:
         return Path(cache_dir)
     return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
-
-
-def cache_stats(cache_dir: Optional[Path] = None) -> dict:
-    """Entry count / footprint / health summary of one cache directory."""
-    directory = resolve_cache_dir(cache_dir)
-    stats = {
-        "cache_dir": str(directory),
-        "entries": 0,
-        "total_bytes": 0,
-        "valid": 0,
-        "invalid": 0,
-        "schema_versions": {},
-        "telemetry_bundles": 0,
-    }
-    if not directory.is_dir():
-        return stats
-    for bundle in directory.glob("*.telemetry"):
-        if bundle.is_dir():
-            stats["telemetry_bundles"] += 1
-    for path in sorted(directory.glob("*.json")):
-        stats["entries"] += 1
-        stats["total_bytes"] += path.stat().st_size
-        try:
-            data = json.loads(path.read_text())
-            schema = data.get("schema", "unversioned")
-        except (json.JSONDecodeError, OSError, AttributeError):
-            schema = "corrupt"
-        key = str(schema)
-        stats["schema_versions"][key] = stats["schema_versions"].get(key, 0) + 1
-        if schema == CACHE_SCHEMA_VERSION:
-            stats["valid"] += 1
-        else:
-            stats["invalid"] += 1
-    return stats
-
-
-def cache_verify(cache_dir: Optional[Path] = None) -> dict:
-    """Deep-check every entry: parseable, current schema, digest matches.
-
-    A digest mismatch means the file was renamed or the key inside was
-    tampered with/drifted; such entries would never be read back and only
-    waste space.
-    """
-    directory = resolve_cache_dir(cache_dir)
-    report = {"cache_dir": str(directory), "ok": 0, "bad": []}
-    if not directory.is_dir():
-        return report
-    for path in sorted(directory.glob("*.json")):
-        try:
-            entry_from_json(path.read_text())
-            data = json.loads(path.read_text())
-            expected = digest_for_key(data["key"]) + ".json"
-            if path.name != expected:
-                raise CacheEntryError(
-                    f"digest mismatch (expected {expected})"
-                )
-        except (CacheEntryError, OSError) as error:
-            report["bad"].append({"path": str(path), "error": str(error)})
-        else:
-            report["ok"] += 1
-    return report
-
-
-def cache_clear(cache_dir: Optional[Path] = None) -> int:
-    """Delete all cache entries, telemetry bundles and stray temp files;
-    returns the count of entries removed (a bundle counts as one)."""
-    directory = resolve_cache_dir(cache_dir)
-    removed = 0
-    if not directory.is_dir():
-        return removed
-    for pattern in ("*.json", "*.tmp"):
-        for path in directory.glob(pattern):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-    for bundle in directory.glob("*.telemetry"):
-        if bundle.is_dir():
-            try:
-                shutil.rmtree(bundle)
-                removed += 1
-            except OSError:
-                pass
-    return removed
 
 
 _default_runner: Optional[Runner] = None

@@ -109,6 +109,16 @@ class ReproServer:
         self.metrics.probe(
             "serve.jobs.running",
             lambda: self.store.counts()[JobState.RUNNING])
+        # Storage-backend operation counters, labelled by backend kind so
+        # dashboards can tell a sqlite-backed service from a file-backed
+        # one at a glance.  Probes (not counters): the runner's store
+        # owns the numbers, /metrics just reads them.
+        result_store = self.runner.store
+        for counter in ("gets", "hits", "misses", "puts", "deletes",
+                        "evictions"):
+            self.metrics.probe(
+                f"store.{result_store.kind}.{counter}",
+                lambda name=counter: result_store.counters.as_dict()[name])
 
     # -- lifecycle ------------------------------------------------------
 

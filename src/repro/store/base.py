@@ -1,0 +1,429 @@
+"""The abstract content-addressed store every backend implements.
+
+A :class:`Store` holds two kinds of objects, both keyed by the config
+digest (:meth:`SimConfig.cache_digest`):
+
+* **entries** - single blobs of bytes (the schema-versioned JSON cache
+  entries from :mod:`repro.store.codec`);
+* **bundles** - multi-file telemetry bundles.  A bundle is only ever
+  visible as a whole: backends must commit the manifest last (file
+  backend) or in one transaction (sqlite backend), so a reader that can
+  see ``manifest.json`` can trust every other file is present.
+
+The public methods here are template methods: they do uniform counter
+bookkeeping (gets/puts/hits/misses/deletes/evictions, surfaced on
+``repro serve``'s ``/metrics``) and hold the store lock, then delegate
+to the ``_``-prefixed primitive the backend provides.  That keeps
+counting and thread-safety semantics identical across backends - the
+conformance suite in ``tests/test_store.py`` relies on it.
+
+Backend choice is *never* part of a cache key: the same config digests
+to the same entry in every backend, which is what makes ``repro cache
+sync`` a pure byte-copy.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.store.codec import atomic_write_bytes
+from repro.telemetry import MANIFEST_NAME, bundle_is_complete
+
+
+def host_now() -> float:
+    """Host wall clock for entry timestamps (TTL/LRU eviction only).
+
+    The storage layer is infrastructure, not simulation logic: these
+    timestamps order evictions and never reach a cache key or a result,
+    so reading the host clock is correct - this single suppressed call
+    site documents that.  Stores take an injectable ``clock`` so tests
+    can drive TTL expiry deterministically.
+    """
+    return time.time()   # simlint: ignore[SIM003] -- eviction timestamps, never feed a digest
+
+
+Clock = Callable[[], float]
+
+
+#: Entry kinds a :meth:`Store.scan` can report.
+KIND_ENTRY = "entry"
+KIND_BUNDLE = "bundle"
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One object a :meth:`Store.scan` found.
+
+    ``mtime`` is the last-modified host timestamp (0.0 when the backend
+    cannot know it); ``atime`` is the last *read* timestamp where the
+    backend tracks accesses (sqlite, memory) and falls back to ``mtime``
+    elsewhere.  Both exist purely for TTL/LRU eviction ordering.
+    """
+
+    digest: str
+    kind: str
+    size: int
+    mtime: float = 0.0
+    atime: float = 0.0
+
+    @property
+    def last_used(self) -> float:
+        return self.atime if self.atime else self.mtime
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Cheap whole-store summary (:meth:`Store.stat`)."""
+
+    kind: str
+    description: str
+    entries: int
+    bundles: int
+    entry_bytes: int
+
+
+@dataclass
+class StoreCounters:
+    """Uniform per-store operation counters.
+
+    Maintained by the :class:`Store` template methods so every backend
+    counts identically; exported as ``store.<kind>.<counter>`` probes on
+    the serve layer's ``/metrics``.
+    """
+
+    gets: int = 0
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    deletes: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "gets": self.gets, "hits": self.hits, "misses": self.misses,
+            "puts": self.puts, "deletes": self.deletes,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass(frozen=True)
+class EvictionPolicy:
+    """TTL/LRU bounds applied after every put (and on explicit evict).
+
+    ``ttl`` drops entries not modified within the last ``ttl`` seconds;
+    ``max_entries``/``max_bytes`` then trim least-recently-used entries
+    until the store fits.  An evicted entry takes its same-digest
+    telemetry bundle with it (a bundle without its entry is dead weight -
+    nothing will ever read it back through the runner).
+    """
+
+    ttl: Optional[float] = None
+    max_entries: Optional[int] = None
+    max_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.ttl is not None and self.ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {self.ttl}")
+        if self.max_entries is not None and self.max_entries < 0:
+            raise ValueError(
+                f"max_entries cannot be negative, got {self.max_entries}")
+        if self.max_bytes is not None and self.max_bytes < 0:
+            raise ValueError(
+                f"max_bytes cannot be negative, got {self.max_bytes}")
+
+    @property
+    def bounded(self) -> bool:
+        return (self.ttl is not None or self.max_entries is not None
+                or self.max_bytes is not None)
+
+
+@dataclass
+class SyncReport:
+    """What one :func:`repro.store.sync_stores` pass copied."""
+
+    entries_copied: int = 0
+    entries_skipped: int = 0
+    bundles_copied: int = 0
+    bundles_skipped: int = 0
+    bytes_copied: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "entries_copied": self.entries_copied,
+            "entries_skipped": self.entries_skipped,
+            "bundles_copied": self.bundles_copied,
+            "bundles_skipped": self.bundles_skipped,
+            "bytes_copied": self.bytes_copied,
+        }
+
+
+class Store(ABC):
+    """Digest-keyed, bytes-valued storage with atomic bundle commits.
+
+    Subclasses implement the ``_``-prefixed primitives; the public
+    surface adds locking (one store object may be shared between the
+    serve event loop and its executor threads) and counter bookkeeping.
+    """
+
+    #: Short backend tag ("file", "sqlite", "memory", "tiered"); also
+    #: the URL scheme that constructs the backend.
+    kind: str = "abstract"
+
+    def __init__(self, policy: Optional[EvictionPolicy] = None,
+                 clock: Optional[Clock] = None) -> None:
+        self.policy = policy
+        self.counters = StoreCounters()
+        self._clock = clock if clock is not None else host_now
+        self._lock = threading.RLock()
+        self._staging: Optional[Path] = None
+
+    # -- identity -------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def description(self) -> str:
+        """Canonical URL for this store (round-trips through the parser)."""
+
+    def location(self, digest: str) -> str:
+        """Human-readable address of one entry (error messages, reports)."""
+        return f"{self.description}#{digest}"
+
+    # -- entry API ------------------------------------------------------
+
+    def get(self, digest: str) -> Optional[bytes]:
+        with self._lock:
+            data = self._get(digest)
+            self.counters.gets += 1
+            if data is None:
+                self.counters.misses += 1
+            else:
+                self.counters.hits += 1
+            return data
+
+    def put(self, digest: str, data: bytes) -> None:
+        with self._lock:
+            self._put(digest, data)
+            self.counters.puts += 1
+            if self.policy is not None and self.policy.bounded:
+                self._evict_locked(self._clock())
+
+    def exists(self, digest: str) -> bool:
+        with self._lock:
+            return self._exists(digest)
+
+    def delete(self, digest: str) -> bool:
+        with self._lock:
+            removed = self._delete(digest)
+            if removed:
+                self.counters.deletes += 1
+            return removed
+
+    def scan(self) -> List[StoreEntry]:
+        """Every entry and bundle, sorted by (kind, digest).
+
+        The deterministic order is what lets ``cache stats``/``verify``/
+        ``sync`` share one loop across backends and still produce stable
+        reports.
+        """
+        with self._lock:
+            return sorted(self._scan(),
+                          key=lambda e: (e.kind, e.digest))
+
+    def stat(self) -> StoreStats:
+        entries = bundles = entry_bytes = 0
+        for item in self.scan():
+            if item.kind == KIND_BUNDLE:
+                bundles += 1
+            else:
+                entries += 1
+                entry_bytes += item.size
+        return StoreStats(kind=self.kind, description=self.description,
+                          entries=entries, bundles=bundles,
+                          entry_bytes=entry_bytes)
+
+    # -- bundle API -----------------------------------------------------
+
+    def has_bundle(self, digest: str) -> bool:
+        with self._lock:
+            return self._has_bundle(digest)
+
+    def put_bundle(self, digest: str, files: Mapping[str, bytes]) -> None:
+        """Commit a complete multi-file bundle atomically.
+
+        The mapping must include the manifest: a bundle is *defined* by
+        its manifest landing last, and committing one without it would
+        create a bundle no reader can ever trust.
+        """
+        if MANIFEST_NAME not in files:
+            raise ValueError(
+                f"bundle {digest} is missing {MANIFEST_NAME}; refusing to "
+                "commit an incomplete bundle")
+        with self._lock:
+            self._put_bundle(digest, dict(files))
+            self.counters.puts += 1
+
+    def get_bundle(self, digest: str) -> Optional[Dict[str, bytes]]:
+        with self._lock:
+            files = self._get_bundle(digest)
+            self.counters.gets += 1
+            if files is None:
+                self.counters.misses += 1
+            else:
+                self.counters.hits += 1
+            return files
+
+    def delete_bundle(self, digest: str) -> bool:
+        with self._lock:
+            removed = self._delete_bundle(digest)
+            if removed:
+                self.counters.deletes += 1
+            return removed
+
+    # -- filesystem seams (telemetry zero-copy + staging) ---------------
+
+    def entry_path(self, digest: str) -> Optional[Path]:
+        """Filesystem home of an entry, when the backend has one.
+
+        Only the file backend returns a path; everything that must poke
+        at raw entry files (tests corrupting entries, legacy tooling)
+        goes through this instead of guessing the layout.
+        """
+        return None
+
+    def bundle_path(self, digest: str) -> Optional[Path]:
+        """Directory a bundle natively lives in, when the backend has one.
+
+        When non-None the simulator writes its telemetry bundle straight
+        into this directory (zero-copy); otherwise the runner stages the
+        bundle on disk and commits it via :meth:`put_bundle`.
+        """
+        return None
+
+    def staging_root(self) -> Path:
+        """Scratch directory for bundle staging (non-filesystem backends)."""
+        with self._lock:
+            if self._staging is None:
+                self._staging = Path(tempfile.mkdtemp(
+                    prefix=f"repro-{self.kind}-staging-"))
+            return self._staging
+
+    # -- maintenance ----------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete everything; returns objects removed (bundle counts 1)."""
+        with self._lock:
+            removed = 0
+            for item in self._scan():
+                if item.kind == KIND_BUNDLE:
+                    removed += int(self._delete_bundle(item.digest))
+                else:
+                    removed += int(self._delete(item.digest))
+            return removed
+
+    def evict(self, now: Optional[float] = None) -> int:
+        """Apply the eviction policy; returns entries evicted."""
+        with self._lock:
+            return self._evict_locked(
+                self._clock() if now is None else now)
+
+    def _evict_locked(self, now: float) -> int:
+        policy = self.policy
+        if policy is None or not policy.bounded:
+            return 0
+        entries = sorted(
+            (e for e in self._scan() if e.kind == KIND_ENTRY),
+            key=lambda e: (e.last_used, e.digest))
+        doomed: List[str] = []
+        if policy.ttl is not None:
+            live = []
+            for item in entries:
+                if now - item.mtime > policy.ttl:
+                    doomed.append(item.digest)
+                else:
+                    live.append(item)
+            entries = live
+        if policy.max_entries is not None:
+            while len(entries) > policy.max_entries:
+                doomed.append(entries.pop(0).digest)
+        if policy.max_bytes is not None:
+            total = sum(e.size for e in entries)
+            while entries and total > policy.max_bytes:
+                victim = entries.pop(0)
+                total -= victim.size
+                doomed.append(victim.digest)
+        for digest in doomed:
+            if self._delete(digest):
+                self.counters.evictions += 1
+            self._delete_bundle(digest)
+        return len(doomed)
+
+    def close(self) -> None:
+        """Release backend resources; the store is unusable afterwards."""
+
+    # -- backend primitives --------------------------------------------
+
+    @abstractmethod
+    def _get(self, digest: str) -> Optional[bytes]: ...
+
+    @abstractmethod
+    def _put(self, digest: str, data: bytes) -> None: ...
+
+    @abstractmethod
+    def _exists(self, digest: str) -> bool: ...
+
+    @abstractmethod
+    def _delete(self, digest: str) -> bool: ...
+
+    @abstractmethod
+    def _scan(self) -> List[StoreEntry]: ...
+
+    @abstractmethod
+    def _has_bundle(self, digest: str) -> bool: ...
+
+    @abstractmethod
+    def _put_bundle(self, digest: str, files: Dict[str, bytes]) -> None: ...
+
+    @abstractmethod
+    def _get_bundle(self, digest: str) -> Optional[Dict[str, bytes]]: ...
+
+    @abstractmethod
+    def _delete_bundle(self, digest: str) -> bool: ...
+
+
+def export_bundle_dir(files: Mapping[str, bytes], out_dir: Path) -> None:
+    """Materialise a bundle's files into a directory, manifest last.
+
+    Mirrors the telemetry writer's own ordering so a half-exported
+    directory is never mistaken for a complete bundle
+    (:func:`repro.telemetry.bundle_is_complete`).
+    """
+    out_dir = Path(out_dir)
+    for name in sorted(files):
+        if name == MANIFEST_NAME:
+            continue
+        atomic_write_bytes(out_dir / name, files[name])
+    atomic_write_bytes(out_dir / MANIFEST_NAME, files[MANIFEST_NAME])
+
+
+def read_bundle_dir(bundle: Path) -> Optional[Dict[str, bytes]]:
+    """Load a complete on-disk bundle into memory; None if incomplete.
+
+    The inverse of :func:`export_bundle_dir`: stray ``*.tmp`` debris is
+    skipped, and a directory without its manifest reads as no bundle at
+    all (never as a partial one).
+    """
+    bundle = Path(bundle)
+    if not bundle_is_complete(bundle):
+        return None
+    files: Dict[str, bytes] = {}
+    for path in sorted(bundle.iterdir()):
+        if not path.is_file() or path.name.endswith(".tmp"):
+            continue
+        files[path.name] = path.read_bytes()
+    return files

@@ -1,0 +1,175 @@
+"""The single-file SQLite backend: one shareable database, WAL mode.
+
+One ``.db`` file holds every entry and telemetry bundle, which makes the
+whole cache a single artifact to copy between machines or CI jobs.  WAL
+journaling plus a generous busy timeout keeps concurrent sweep processes
+and the serve layer's executor threads safe: every write happens inside
+one transaction, so a reader sees an entry (or a bundle) entirely or not
+at all - the transactional equivalent of the file backend's
+atomic-rename and manifest-last guarantees.
+
+Timestamps (``created_at``/``accessed_at``) exist only so TTL/LRU
+eviction can order entries; they never feed a digest or a result.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.store.base import (KIND_BUNDLE, KIND_ENTRY, Clock, EvictionPolicy,
+                              Store, StoreEntry)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS entries (
+    digest      TEXT PRIMARY KEY,
+    data        BLOB NOT NULL,
+    created_at  REAL NOT NULL,
+    accessed_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS bundles (
+    digest      TEXT PRIMARY KEY,
+    created_at  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS bundle_files (
+    digest TEXT NOT NULL,
+    name   TEXT NOT NULL,
+    data   BLOB NOT NULL,
+    PRIMARY KEY (digest, name)
+);
+"""
+
+
+class SQLiteStore(Store):
+    """Content-addressed store over one SQLite database file."""
+
+    kind = "sqlite"
+
+    #: Default database path for a bare ``sqlite:`` URL.
+    DEFAULT_PATH = ".repro_cache.db"
+
+    def __init__(self, path: Path | str = DEFAULT_PATH,
+                 policy: Optional[EvictionPolicy] = None,
+                 clock: Optional[Clock] = None) -> None:
+        super().__init__(policy=policy, clock=clock)
+        self.path = Path(path)
+        if self.path.parent != Path("."):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        # One shared connection guarded by the store lock: simulations
+        # happen in worker *processes* (which never touch the parent's
+        # store), so a single serialized connection per process is
+        # plenty - and WAL makes cross-process sharing of the same file
+        # safe.
+        self._conn = sqlite3.connect(
+            str(self.path), timeout=30.0, check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        with self._conn:
+            self._conn.executescript(_SCHEMA)
+
+    @property
+    def description(self) -> str:
+        return f"sqlite:{self.path}"
+
+    # -- entries --------------------------------------------------------
+
+    def _get(self, digest: str) -> Optional[bytes]:
+        row = self._conn.execute(
+            "SELECT data FROM entries WHERE digest = ?", (digest,),
+        ).fetchone()
+        if row is None:
+            return None
+        with self._conn:
+            self._conn.execute(
+                "UPDATE entries SET accessed_at = ? WHERE digest = ?",
+                (self._clock(), digest))
+        return bytes(row[0])
+
+    def _put(self, digest: str, data: bytes) -> None:
+        now = self._clock()
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO entries (digest, data, created_at, accessed_at) "
+                "VALUES (?, ?, ?, ?) "
+                "ON CONFLICT(digest) DO UPDATE SET "
+                "data = excluded.data, created_at = excluded.created_at, "
+                "accessed_at = excluded.accessed_at",
+                (digest, sqlite3.Binary(data), now, now))
+
+    def _exists(self, digest: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM entries WHERE digest = ?", (digest,),
+        ).fetchone()
+        return row is not None
+
+    def _delete(self, digest: str) -> bool:
+        with self._conn:
+            cursor = self._conn.execute(
+                "DELETE FROM entries WHERE digest = ?", (digest,))
+        return cursor.rowcount > 0
+
+    def _scan(self) -> List[StoreEntry]:
+        found = [
+            StoreEntry(digest=str(digest), kind=KIND_ENTRY, size=int(size),
+                       mtime=float(created), atime=float(accessed))
+            for digest, size, created, accessed in self._conn.execute(
+                "SELECT digest, length(data), created_at, accessed_at "
+                "FROM entries")
+        ]
+        found.extend(
+            StoreEntry(digest=str(digest), kind=KIND_BUNDLE,
+                       size=int(size or 0), mtime=float(created))
+            for digest, created, size in self._conn.execute(
+                "SELECT b.digest, b.created_at, "
+                "(SELECT SUM(length(f.data)) FROM bundle_files f "
+                " WHERE f.digest = b.digest) FROM bundles b")
+        )
+        return found
+
+    # -- bundles --------------------------------------------------------
+
+    def _has_bundle(self, digest: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM bundles WHERE digest = ?", (digest,),
+        ).fetchone()
+        return row is not None
+
+    def _put_bundle(self, digest: str, files: Dict[str, bytes]) -> None:
+        # One transaction = the manifest-last guarantee: the bundles row
+        # (what _has_bundle reads) becomes visible only with every file.
+        with self._conn:
+            self._conn.execute(
+                "DELETE FROM bundle_files WHERE digest = ?", (digest,))
+            self._conn.executemany(
+                "INSERT INTO bundle_files (digest, name, data) "
+                "VALUES (?, ?, ?)",
+                [(digest, name, sqlite3.Binary(data))
+                 for name, data in sorted(files.items())])
+            self._conn.execute(
+                "INSERT INTO bundles (digest, created_at) VALUES (?, ?) "
+                "ON CONFLICT(digest) DO UPDATE SET "
+                "created_at = excluded.created_at",
+                (digest, self._clock()))
+
+    def _get_bundle(self, digest: str) -> Optional[Dict[str, bytes]]:
+        if not self._has_bundle(digest):
+            return None
+        return {
+            str(name): bytes(data)
+            for name, data in self._conn.execute(
+                "SELECT name, data FROM bundle_files WHERE digest = ? "
+                "ORDER BY name", (digest,))
+        }
+
+    def _delete_bundle(self, digest: str) -> bool:
+        with self._conn:
+            self._conn.execute(
+                "DELETE FROM bundle_files WHERE digest = ?", (digest,))
+            cursor = self._conn.execute(
+                "DELETE FROM bundles WHERE digest = ?", (digest,))
+        return cursor.rowcount > 0
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()

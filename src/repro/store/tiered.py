@@ -1,0 +1,108 @@
+"""Local-over-remote composition: the S3/redis-shaped seam.
+
+A :class:`TieredStore` reads through a fast local store into a shared
+remote one (write-back on remote hits) and writes through to both, so a
+sweep started anywhere reuses every digest any worker has ever pushed to
+the shared tier while keeping repeat reads local.  "Remote" today means
+any other :class:`~repro.store.base.Store` (typically a sqlite file on
+shared storage); a genuinely networked backend plugs in by implementing
+the same ten primitives.
+
+Telemetry bundles deliberately report no native ``bundle_path``: the
+zero-copy path would write bundles only into the local tier and the
+remote would silently never see them.  Staging + :meth:`put_bundle`
+costs one copy and lands the bundle in both tiers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.store.base import Store, StoreEntry
+
+
+class TieredStore(Store):
+    """Read-through/write-back composition of two stores."""
+
+    kind = "tiered"
+
+    def __init__(self, local: Store, remote: Store) -> None:
+        super().__init__(policy=None)
+        self.local = local
+        self.remote = remote
+
+    @property
+    def description(self) -> str:
+        return f"tiered:{self.local.description}|{self.remote.description}"
+
+    # -- entries --------------------------------------------------------
+
+    def _get(self, digest: str) -> Optional[bytes]:
+        data = self.local.get(digest)
+        if data is not None:
+            return data
+        data = self.remote.get(digest)
+        if data is not None:
+            self.local.put(digest, data)   # write back for the next read
+        return data
+
+    def _put(self, digest: str, data: bytes) -> None:
+        self.local.put(digest, data)
+        self.remote.put(digest, data)
+
+    def _exists(self, digest: str) -> bool:
+        return self.local.exists(digest) or self.remote.exists(digest)
+
+    def _delete(self, digest: str) -> bool:
+        local = self.local.delete(digest)
+        remote = self.remote.delete(digest)
+        return local or remote
+
+    def _scan(self) -> List[StoreEntry]:
+        merged: Dict[tuple[str, str], StoreEntry] = {}
+        for item in self.remote.scan():
+            merged[(item.kind, item.digest)] = item
+        for item in self.local.scan():
+            merged[(item.kind, item.digest)] = item   # local wins
+        return list(merged.values())
+
+    # -- bundles --------------------------------------------------------
+
+    def _has_bundle(self, digest: str) -> bool:
+        return self.local.has_bundle(digest) or self.remote.has_bundle(digest)
+
+    def _put_bundle(self, digest: str, files: Dict[str, bytes]) -> None:
+        self.local.put_bundle(digest, files)
+        self.remote.put_bundle(digest, files)
+
+    def _get_bundle(self, digest: str) -> Optional[Dict[str, bytes]]:
+        files = self.local.get_bundle(digest)
+        if files is not None:
+            return files
+        files = self.remote.get_bundle(digest)
+        if files is not None:
+            self.local.put_bundle(digest, files)
+        return files
+
+    def _delete_bundle(self, digest: str) -> bool:
+        local = self.local.delete_bundle(digest)
+        remote = self.remote.delete_bundle(digest)
+        return local or remote
+
+    # -- plumbing -------------------------------------------------------
+
+    def evict(self, now: Optional[float] = None) -> int:
+        """Tier eviction is per-component (each side owns its policy)."""
+        return self.local.evict(now) + self.remote.evict(now)
+
+    def clear(self) -> int:
+        # Count distinct objects (a digest present in both tiers is one
+        # object); component stores do their own locking and deletion.
+        distinct = len({(e.kind, e.digest) for e in self.scan()})
+        self.local.clear()
+        self.remote.clear()
+        return distinct
+
+    def close(self) -> None:
+        self.local.close()
+        self.remote.close()

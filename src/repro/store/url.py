@@ -1,0 +1,134 @@
+"""``REPRO_CACHE_URL`` grammar and the store resolver.
+
+Grammar (full spec in ``docs/storage.md``)::
+
+    file:<path>[?<params>]        directory layout (default .repro_cache)
+    sqlite:<path>[?<params>]      one WAL database (default .repro_cache.db)
+    memory:[?<params>]            in-process, dies with the store
+    tiered:<local>|<remote>       read-through composition of two URLs
+
+``<params>`` attach an eviction policy to that backend:
+``ttl=<seconds>``, ``max_entries=<n>``, ``max_bytes=<n>``.
+
+Resolution precedence (:func:`resolve_store`) keeps every pre-store
+workflow working unchanged: ``REPRO_NO_CACHE=1`` still means "nothing
+persists" (now as a memory store rather than boolean branches), an
+explicit ``cache_dir`` still means that directory, and only then do
+``REPRO_CACHE_URL``/``REPRO_CACHE_DIR`` apply.  None of this can move a
+cache key - the URL picks *where* bytes live, never what digest they
+live under.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+from urllib.parse import parse_qsl
+
+from repro.store.base import EvictionPolicy, Store
+from repro.store.file import FileStore
+from repro.store.memory import MemoryStore
+from repro.store.sqlite import SQLiteStore
+from repro.store.tiered import TieredStore
+
+#: The schemes ``store_from_url`` understands, for error messages.
+KNOWN_SCHEMES = ("file", "sqlite", "memory", "tiered")
+
+
+class StoreURLError(ValueError):
+    """A malformed store URL, worth one clear line on stderr."""
+
+
+def _policy_from_query(query: str, url: str) -> Optional[EvictionPolicy]:
+    if not query:
+        return None
+    ttl: Optional[float] = None
+    max_entries: Optional[int] = None
+    max_bytes: Optional[int] = None
+    for key, value in parse_qsl(query, keep_blank_values=True):
+        try:
+            if key == "ttl":
+                ttl = float(value)
+            elif key == "max_entries":
+                max_entries = int(value)
+            elif key == "max_bytes":
+                max_bytes = int(value)
+            else:
+                raise StoreURLError(
+                    f"unknown store parameter {key!r} in {url!r} "
+                    "(known: ttl, max_entries, max_bytes)")
+        except ValueError as error:
+            if isinstance(error, StoreURLError):
+                raise
+            raise StoreURLError(
+                f"bad value for {key!r} in {url!r}: {value!r}") from None
+    try:
+        return EvictionPolicy(ttl=ttl, max_entries=max_entries,
+                              max_bytes=max_bytes)
+    except ValueError as error:
+        raise StoreURLError(f"bad eviction policy in {url!r}: {error}"
+                            ) from None
+
+
+def store_from_url(url: str) -> Store:
+    """Construct a backend from one store URL; raises StoreURLError."""
+    scheme, sep, rest = url.partition(":")
+    if not sep or not scheme:
+        raise StoreURLError(
+            f"store URL needs a scheme: {url!r} "
+            f"(expected one of {', '.join(s + ':' for s in KNOWN_SCHEMES)})")
+    scheme = scheme.lower()
+    if scheme == "tiered":
+        local_url, pipe, remote_url = rest.partition("|")
+        if not pipe or not local_url or not remote_url:
+            raise StoreURLError(
+                f"tiered store URL needs 'tiered:<local>|<remote>', "
+                f"got {url!r}")
+        local = store_from_url(local_url)
+        remote = store_from_url(remote_url)
+        if isinstance(local, TieredStore) or isinstance(remote, TieredStore):
+            raise StoreURLError(f"tiered stores do not nest: {url!r}")
+        return TieredStore(local, remote)
+    path, _, query = rest.partition("?")
+    policy = _policy_from_query(query, url)
+    if scheme == "file":
+        return FileStore(Path(path) if path else Path(".repro_cache"),
+                         policy=policy)
+    if scheme == "sqlite":
+        return SQLiteStore(Path(path) if path else
+                           Path(SQLiteStore.DEFAULT_PATH), policy=policy)
+    if scheme == "memory":
+        if path:
+            raise StoreURLError(
+                f"memory: takes no path, got {url!r}")
+        return MemoryStore(policy=policy)
+    raise StoreURLError(
+        f"unknown store scheme {scheme!r} in {url!r} "
+        f"(known: {', '.join(KNOWN_SCHEMES)})")
+
+
+def resolve_store(cache_dir: Optional[Path | str] = None,
+                  url: Optional[str] = None,
+                  respect_no_cache: bool = True) -> Store:
+    """The one place backend selection happens.
+
+    Precedence: ``REPRO_NO_CACHE=1`` (memory store; disabled caching) >
+    explicit ``url`` > explicit ``cache_dir`` (file store, the historic
+    ``Runner(cache_dir=...)`` contract) > ``REPRO_CACHE_URL`` >
+    ``REPRO_CACHE_DIR`` > ``file:.repro_cache``.
+
+    Maintenance verbs pass ``respect_no_cache=False``: inspecting or
+    clearing an on-disk cache should work even in a shell where caching
+    is disabled for runs.
+    """
+    if respect_no_cache and os.environ.get("REPRO_NO_CACHE", "0") == "1":
+        return MemoryStore()
+    if url is not None:
+        return store_from_url(url)
+    if cache_dir is not None:
+        return FileStore(Path(cache_dir))
+    env_url = os.environ.get("REPRO_CACHE_URL")
+    if env_url:
+        return store_from_url(env_url)
+    return FileStore(Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache")))
