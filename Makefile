@@ -7,7 +7,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: check lint simlint typecheck test sanitize coverage \
-	bench-sanitizer trace-demo bench-telemetry bench-hotpath
+	bench-sanitizer trace-demo bench-telemetry bench-hotpath \
+	bench-hotpath-miss
 
 check:
 	$(PYTHON) -m repro check
@@ -62,3 +63,10 @@ bench-telemetry:
 # leaves BENCH_hotpath.json behind.
 bench-hotpath:
 	$(PYTHON) benchmarks/check_hotpath_speedup.py
+
+# Miss-heavy rows only (gups/lbm/stream); faster iteration loop when
+# working on the controller/event-queue path.  Writes a separate report
+# so it never clobbers the committed full-matrix BENCH_hotpath.json.
+bench-hotpath-miss:
+	$(PYTHON) benchmarks/check_hotpath_speedup.py --configs miss \
+		--output BENCH_hotpath_miss.json

@@ -8,12 +8,18 @@ promises:
 * **Bit-identity**: every config's :class:`RunResult` must compare equal
   between the two modes.  The reference path is the oracle; a divergence
   is a correctness bug regardless of speed.
-* **Speedup**: on the *gated* configs (hit-heavy workloads, where the
-  LLC-hit fast path and the analytic core clock dominate) the wall-clock
-  ratio reference/fast must reach ``REPRO_HOTPATH_MIN_RATIO`` (default
-  2.0).  Miss-heavy configs are measured and reported but not gated -
-  their runtime is controller/event-loop bound, and the slimming there
-  is worth ~1.2-1.6x, not 2x.
+* **Speedup**, gated per class:
+
+  - *hit-heavy* configs (hmmer: LLC-hit fast path and the analytic core
+    clock dominate) must each reach ``REPRO_HOTPATH_MIN_RATIO``
+    (default 2.0);
+  - *miss-heavy* configs (gups/lbm/stream: controller, event loop and
+    warmup dominate) are gated as a group - **at least one** must reach
+    ``REPRO_HOTPATH_MIN_RATIO_MISS`` (default 2.0).  The any-of rule
+    reflects what the batched event-queue advancement, array bank state
+    and epoch wear buffering actually buy: the workloads sit at
+    different distances from the event-loop floor, and the gate pins
+    the best case without making the slowest workload's noise fail CI.
 
 Methodology: the two modes are interleaved round-robin (mode A, mode B,
 mode A, ...) so slow machine phases hit both sides; each side is scored
@@ -25,6 +31,7 @@ with ``--output``).  Exit status 0 iff every gated config passes and
 every config is bit-identical.
 
     PYTHONPATH=src python benchmarks/check_hotpath_speedup.py
+    PYTHONPATH=src python benchmarks/check_hotpath_speedup.py --configs miss
 """
 from __future__ import annotations
 
@@ -41,14 +48,17 @@ from repro.sim.system import RunResult, run_simulation
 
 ROUNDS = 3
 
-# (workload, policy, scale, gated).  The gate matrix is hit-heavy hmmer
-# across two policies; the rest document where the event-loop floor is.
-MATRIX: List[Tuple[str, str, float, bool]] = [
-    ("hmmer", "Norm", 0.2, True),
-    ("hmmer", "BE-Mellow+SC", 0.2, True),
-    ("gups", "Norm", 0.2, False),
-    ("lbm", "Norm", 0.1, False),
-    ("stream", "Norm", 0.2, False),
+HIT = "hit"
+MISS = "miss"
+
+# (workload, policy, scale, gate class).  Hit-heavy rows gate
+# individually; miss-heavy rows gate as an any-of group (see module doc).
+MATRIX: List[Tuple[str, str, float, str]] = [
+    ("hmmer", "Norm", 0.2, HIT),
+    ("hmmer", "BE-Mellow+SC", 0.2, HIT),
+    ("gups", "Norm", 0.2, MISS),
+    ("lbm", "Norm", 0.1, MISS),
+    ("stream", "Norm", 0.2, MISS),
 ]
 
 
@@ -72,12 +82,21 @@ def main() -> int:
                         help="where to write the JSON report")
     parser.add_argument("--rounds", type=int, default=ROUNDS,
                         help="interleaved timing rounds per config")
+    parser.add_argument("--configs", choices=["all", HIT, MISS],
+                        default="all",
+                        help="run only one gate class (default: all)")
     args = parser.parse_args()
     min_ratio = float(os.environ.get("REPRO_HOTPATH_MIN_RATIO", "2.0"))
+    min_ratio_miss = float(
+        os.environ.get("REPRO_HOTPATH_MIN_RATIO_MISS", "2.0"))
 
+    matrix = [row for row in MATRIX
+              if args.configs == "all" or row[3] == args.configs]
     rows: List[Dict[str, object]] = []
-    failed = False
-    for workload, policy, scale, gated in MATRIX:
+    diverged = False
+    hit_failed = False
+    best_miss_ratio = 0.0
+    for workload, policy, scale, gate_class in matrix:
         config = SimConfig(workload=workload, policy=policy,
                            seed=3).scaled(scale)
         best = {"fast": float("inf"), "ref": float("inf")}
@@ -87,24 +106,46 @@ def main() -> int:
                 elapsed, results[mode] = timed_run(config, fastpath)
                 best[mode] = min(best[mode], elapsed)
         identical = results["fast"] == results["ref"]
+        diverged = diverged or not identical
         ratio = best["ref"] / best["fast"]
-        ok = identical and (not gated or ratio >= min_ratio)
-        failed = failed or not ok
+        if gate_class == HIT:
+            row_ok = identical and ratio >= min_ratio
+            hit_failed = hit_failed or not row_ok
+            gate = f"each>={min_ratio:.1f}"
+        else:
+            best_miss_ratio = max(best_miss_ratio, ratio)
+            row_ok = identical   # speed verdict for MISS is group-level
+            gate = f"any>={min_ratio_miss:.1f}"
         rows.append({
             "workload": workload, "policy": policy, "scale": scale,
             "fast_s": round(best["fast"], 4), "ref_s": round(best["ref"], 4),
-            "ratio": round(ratio, 3), "gated": gated,
-            "identical": identical, "pass": ok,
+            "ratio": round(ratio, 3), "gate": gate_class,
+            "identical": identical, "pass": row_ok,
         })
-        gate = f"gate>={min_ratio:.1f}" if gated else "report-only"
-        verdict = "ok" if ok else ("DIVERGED" if not identical else "TOO SLOW")
+        verdict = "ok" if row_ok else ("DIVERGED" if not identical
+                                       else "TOO SLOW")
         print(f"{workload:8s} {policy:14s} fast={best['fast']:.2f}s "
               f"ref={best['ref']:.2f}s ratio={ratio:.2f} [{gate}] {verdict}")
 
+    miss_rows = [row for row in rows if row["gate"] == MISS]
+    miss_gate_ok = (not miss_rows
+                    or best_miss_ratio >= min_ratio_miss)
+    if miss_rows:
+        print(f"miss-heavy group: best ratio {best_miss_ratio:.2f} "
+              f"(gate any>={min_ratio_miss:.1f}) "
+              f"{'ok' if miss_gate_ok else 'TOO SLOW'}")
+    failed = diverged or hit_failed or not miss_gate_ok
+
     report = {
         "min_ratio": min_ratio,
+        "min_ratio_miss": min_ratio_miss,
         "rounds": args.rounds,
         "configs": rows,
+        "miss_gate": {
+            "rule": "any-of",
+            "best_ratio": round(best_miss_ratio, 3),
+            "pass": miss_gate_ok,
+        },
         "pass": not failed,
     }
     with open(args.output, "w", encoding="utf-8") as fh:
@@ -116,8 +157,9 @@ def main() -> int:
         print("FAIL: hot-path gate violated (see rows above)",
               file=sys.stderr)
         return 1
-    print(f"OK: all gated configs >= {min_ratio:.1f}x and every config "
-          "bit-identical to the reference path")
+    print(f"OK: gated hit configs >= {min_ratio:.1f}x, miss group best "
+          f">= {min_ratio_miss:.1f}x, every config bit-identical to the "
+          "reference path")
     return 0
 
 

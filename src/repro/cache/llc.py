@@ -170,10 +170,12 @@ class LastLevelCache:
           locally and added once at chunk end (nothing samples the
           profiler mid-warmup).
 
-        When the trace exposes a ``raw`` side stream (the profile fast
-        trace does), records are consumed from it as bare ``(block,
-        is_write)`` pairs - same RNG draws, no gap arithmetic, no record
-        objects.  Any other iterator is consumed record by record.
+        When the trace exposes ``raw_parts`` (the profile fast trace
+        does), the draw sequence is inlined right here - same RNG draws,
+        no gap arithmetic, no generator resume, no record or pair objects.
+        A trace with only a ``raw`` side stream is consumed from it as
+        bare ``(block, is_write)`` pairs; any other iterator is consumed
+        record by record.
 
         ``on_dirty_victim`` receives the block number of each dirty
         evicted line (the DRAM write buffer warming hook).
@@ -181,20 +183,37 @@ class LastLevelCache:
         cache = self.cache
         num_sets = cache.num_sets
         tag_sets = cache._tag_sets
+        tag_members = cache._tag_members
         sets = cache.sets
         counts = cache.set_access_counts
         assoc = cache.assoc
         hit_counters = self.profiler.hit_counters
         db_buckets = self.deadblock.buckets
         max_bucket = DeadBlockPredictor.MAX_BUCKET
-        raw = getattr(trace, "raw", None)
-        raw_next = raw.__next__ if raw is not None else None
+        raw_parts = getattr(trace, "raw_parts", None)
+        if raw_parts is not None:
+            rnd, compiled, fallback = raw_parts
+            raw_next = None
+        else:
+            rnd = compiled = fallback = None
+            raw = getattr(trace, "raw", None)
+            raw_next = raw.__next__ if raw is not None else None
         misses = 0
         reuses = 0
         consumed = 0
         exhausted = False
         while consumed < count_limit:
-            if raw_next is not None:
+            if rnd is not None:
+                r = rnd()
+                for _cum, fast_next in compiled:
+                    if r <= _cum:
+                        chosen = fast_next
+                        break
+                else:
+                    chosen = fallback
+                block, is_write, _dep = chosen()
+                rnd()   # the gap draw; value unused during warmup
+            elif raw_next is not None:
                 try:
                     block, is_write = raw_next()
                 except StopIteration:
@@ -212,20 +231,31 @@ class LastLevelCache:
             tags = tag_sets[set_index]
             tag = block // num_sets
             counts[set_index] = count = counts[set_index] + 1
-            try:
-                position = tags.index(tag)
-            except ValueError:
+            members = tag_members[set_index]
+            if tag not in members:
                 misses += 1
                 lines = sets[set_index]
                 if len(lines) >= assoc:
+                    # Recycle the victim object as the new line: nothing
+                    # keeps a reference to it past the dirty check below,
+                    # and every field is overwritten, so the set state is
+                    # identical to allocating a fresh CacheLine.
                     victim = lines.pop()
-                    del tags[-1]
+                    members.remove(tags.pop())
                     if on_dirty_victim is not None and victim.dirty:
                         on_dirty_victim(victim.tag * num_sets + set_index)
-                lines.insert(0, CacheLine(tag=tag, dirty=is_write,
-                                          last_touch=count))
+                    victim.tag = tag
+                    victim.dirty = is_write
+                    victim.eager_cleaned = False
+                    victim.last_touch = count
+                    lines.insert(0, victim)
+                else:
+                    lines.insert(0, CacheLine(tag=tag, dirty=is_write,
+                                              last_touch=count))
                 tags.insert(0, tag)
+                members.add(tag)
                 continue
+            position = tags.index(tag)
             lines = sets[set_index]
             if position:
                 del tags[position]

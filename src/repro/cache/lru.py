@@ -12,8 +12,11 @@ Two access implementations share these exact semantics:
 * the hot path (:meth:`LRUCache._access_fast`, ``fastpath=True``), which
   mirrors each set's tag order in a plain ``List[int]`` so the hit scan is
   a single C-level ``list.index`` call instead of an O(assoc) loop of
-  attribute loads.  The mirror is maintained only by the fast path itself,
-  which is the sole mutator of set membership and order in that mode.
+  attribute loads, and additionally keeps a per-set membership ``set`` so
+  a miss is detected by one O(1) hash probe instead of a failed scan plus
+  a raised ``ValueError`` (the common case in miss-heavy workloads).  The
+  mirrors are maintained only by the fast path itself, which is the sole
+  mutator of set membership and order in that mode.
 
 Results are bit-identical either way; ``tests/test_fastpath.py`` holds the
 two paths to that across whole simulations.
@@ -22,7 +25,7 @@ two paths to that across whole simulations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, NamedTuple, Optional, Tuple
+from typing import List, NamedTuple, Optional, Set, Tuple
 
 
 @dataclass(slots=True)
@@ -87,9 +90,11 @@ class LRUCache:
         self.assoc = assoc
         self.sets: List[List[CacheLine]] = [[] for _ in range(num_sets)]
         self.set_access_counts: List[int] = [0] * num_sets
-        # MRU-first tag mirror of self.sets, maintained (and read) only by
-        # the fast access path; empty and ignored in reference mode.
+        # MRU-first tag mirror of self.sets plus an unordered membership
+        # set per set, maintained (and read) only by the fast access path;
+        # empty and ignored in reference mode.
         self._tag_sets: List[List[int]] = [[] for _ in range(num_sets)]
+        self._tag_members: List[Set[int]] = [set() for _ in range(num_sets)]
         self._fastpath = fastpath
         if fastpath:
             self.access = self._access_fast  # type: ignore[method-assign]
@@ -147,28 +152,30 @@ class LRUCache:
         """Hot-path access: C-level tag scan over the parallel tag mirror.
 
         Same algorithm and same results as :meth:`_access_ref`; the only
-        difference is that the hit search is ``list.index`` on a list of
+        differences are that a miss is detected by one hash probe of the
+        membership set, and the hit search is ``list.index`` on a list of
         ints (one C call) instead of a Python loop over line objects.
         """
         num_sets = self.num_sets
         set_index = block % num_sets
-        tags = self._tag_sets[set_index]
         lines = self.sets[set_index]
         tag = block // num_sets
         counts = self.set_access_counts
         counts[set_index] = count = counts[set_index] + 1
-        try:
-            position = tags.index(tag)
-        except ValueError:
+        members = self._tag_members[set_index]
+        tags = self._tag_sets[set_index]
+        if tag not in members:
             victim = None
             if len(lines) >= self.assoc:
                 victim = lines.pop()
-                del tags[-1]
+                members.remove(tags.pop())
             lines.insert(0, CacheLine(tag=tag, dirty=is_write,
                                       last_touch=count))
             tags.insert(0, tag)
+            members.add(tag)
             return _new_result(
                 _FastAccessResult, (False, None, victim, False, None))
+        position = tags.index(tag)
         if position:
             del tags[position]
             tags.insert(0, tag)

@@ -17,7 +17,7 @@ import os
 import shutil
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro import params
 from repro.analysis.report import Table, render
@@ -197,15 +197,52 @@ def _print_progress(event) -> None:
     )
 
 
+def _profile_caller_groups(
+        stats: Any) -> List[Tuple[str, float, float, int]]:
+    """Aggregate cProfile rows into per-module groups.
+
+    Buckets every profiled function by the ``repro`` submodule its file
+    lives in (``sim``, ``memory``, ``telemetry``, ...; top-level modules
+    like ``hotpath.py`` fall into ``repro``; everything outside the
+    package - stdlib, builtins - into ``<other>``).  Must run on the raw
+    stats, *before* ``strip_dirs()`` discards the paths the grouping
+    keys on.  Returns ``(group, tottime, cumtime, ncalls)`` tuples sorted
+    by own-time, which is the honest attribution: cumtime double-counts
+    the whole call chain, so module cumtimes do not sum to wall clock.
+    """
+    sep = os.sep
+    marker = f"{sep}repro{sep}"
+    groups: Dict[str, Tuple[float, float, int]] = {}
+    for (filename, _lineno, _name), (_cc, nc, tt, ct, _callers) in \
+            stats.stats.items():
+        where = filename.rfind(marker)
+        if where < 0:
+            group = "<other>"
+        else:
+            rest = filename[where + len(marker):]
+            group = (f"repro.{rest.split(sep, 1)[0]}" if sep in rest
+                     else "repro")
+        own, cum, calls = groups.get(group, (0.0, 0.0, 0))
+        groups[group] = (own + tt, cum + ct, calls + nc)
+    return sorted(
+        ((group, own, cum, calls)
+         for group, (own, cum, calls) in groups.items()),
+        key=lambda row: row[1], reverse=True,
+    )
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Run one config under cProfile and print the hottest call sites.
 
     Bypasses the result cache (profiling a cache hit tells you nothing)
     and, with ``--no-fastpath``, profiles the readable reference path
     instead - the two profiles side by side show where the hot-path
-    layer spends its wins.  Note cProfile's tracing overhead inflates
-    wall clock severalfold; compare *shapes*, not absolute times (use
-    ``benchmarks/check_hotpath_speedup.py`` for honest timings).
+    layer spends its wins.  ``--top-callers`` collapses the per-function
+    rows into per-module own-time totals, the 30-second answer to "is
+    this run core-bound or controller-bound?".  Note cProfile's tracing
+    overhead inflates wall clock severalfold; compare *shapes*, not
+    absolute times (use ``benchmarks/check_hotpath_speedup.py`` for
+    honest timings).
     """
     import cProfile
     import pstats
@@ -222,8 +259,19 @@ def cmd_profile(args: argparse.Namespace) -> int:
     profiler.disable()
     print(render(_result_table([result])))
     mode = "reference path" if args.no_fastpath else "hot path"
-    print(f"\ncProfile ({mode}), top {args.limit} by {args.sort}:")
     stats = pstats.Stats(profiler, stream=sys.stdout)
+    if args.top_callers:
+        # Group while the stats still carry full paths; strip_dirs()
+        # below would collapse every file to its basename first.
+        rows = _profile_caller_groups(stats)
+        total_own = sum(own for _g, own, _c, _n in rows) or 1.0
+        print(f"\ncProfile ({mode}), own time by module:")
+        print(f"{'module':<18s} {'tottime':>9s} {'share':>6s} "
+              f"{'cumtime':>9s} {'calls':>10s}")
+        for group, own, cum, calls in rows:
+            print(f"{group:<18s} {own:9.3f} {own / total_own:6.1%} "
+                  f"{cum:9.3f} {calls:10d}")
+    print(f"\ncProfile ({mode}), top {args.limit} by {args.sort}:")
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
     if args.output:
         stats.dump_stats(args.output)
@@ -556,6 +604,9 @@ def build_parser() -> argparse.ArgumentParser:
                                      "(sets REPRO_NO_FASTPATH=1)")
     profile_parser.add_argument("--output", default=None,
                                 help="also dump raw pstats data here")
+    profile_parser.add_argument("--top-callers", action="store_true",
+                                help="first print own time grouped by "
+                                     "repro submodule (sim/memory/...)")
     profile_parser.set_defaults(handler=cmd_profile)
 
     sweep_parser = subparsers.add_parser(

@@ -147,6 +147,16 @@ class SimpleCore:
     def finished(self) -> bool:
         return self._finished
 
+    @property
+    def fastpath_active(self) -> bool:
+        """Whether this core was built with the hot-path layer engaged.
+
+        The driver loop keys off this (not a fresh environment lookup) so
+        the core's gap deferrals and the loop's deferral-aware drain are
+        always either both on or both off.
+        """
+        return self._fastpath
+
     def ipc(self, window_ns: float) -> float:
         """Instructions per core cycle over ``window_ns``."""
         if window_ns <= 0:
@@ -197,11 +207,22 @@ class SimpleCore:
         events = self.events
         advance_if_clear = events.advance_if_clear
         trace = self.trace
+        # The profile fast trace exposes its generator's bound __next__;
+        # calling it directly skips two iterator-protocol frames per
+        # record.  Any other trace goes through plain next().
+        trace_next = getattr(trace, "fast_next", None)
         llc_access = self.llc.access
         on_access = self.on_access
         base_cpi = self.base_cpi
         clk_ns = params.CPU_CLK_NS
         fastpath = self._fastpath and self._owns_clock
+        # Resumed inside a controller frame (fast mode): the analytic
+        # advance is off the table - the enclosing frame still has work at
+        # the current time - but the gap event can be *deferred*: its heap
+        # slot is reserved now (sequence order preserved) and the driver
+        # loop resolves it once every enclosing frame has unwound, running
+        # it inline when the window up to the gap target is quiescent.
+        defer_gap = self._fastpath and not self._owns_clock
         while not self._finished:
             if (self._wait_read_id is not None
                     or self._waiting_mlp
@@ -216,11 +237,19 @@ class SimpleCore:
                     return
             if self._wait_since is not None:
                 self._note_progress()
-            record = next(trace, None)
+            if trace_next is not None:
+                try:
+                    record = trace_next()
+                except StopIteration:
+                    record = None
+            else:
+                record = next(trace, None)
             if record is None:
                 self._finished = True
                 return
-            gap_insts = record.gap_insts
+            # One C-level tuple unpack instead of a property descriptor
+            # per field (TraceRecord is a NamedTuple).
+            gap_insts, block, is_write, _dependent = record
             if gap_insts > 0:
                 self.instructions_retired += gap_insts
                 gap_ns = gap_insts * base_cpi * clk_ns
@@ -229,11 +258,15 @@ class SimpleCore:
                     # The clock already sits at the access time; run the
                     # access body the gap event would have run.
                     pass
+                elif defer_gap and not self.stop_requested:
+                    self._gap_record = record
+                    events.defer(events.now + gap_ns, self._gap_callback)
+                    return
                 else:
                     self._gap_record = record
                     events.schedule_in(gap_ns, self._gap_callback)
                     return
-            result = llc_access(record.block, record.is_write)
+            result = llc_access(block, is_write)
             self.accesses_processed = count = self.accesses_processed + 1
             if on_access is not None:
                 on_access(count)
@@ -300,7 +333,15 @@ class SimpleCore:
         # Fill read for the miss (loads and stores alike - write-allocate).
         read_id = self._next_read_id
         self._next_read_id += 1
-        callback = self._make_read_callback(read_id)
+        dependent_load = record.dependent and not record.is_write
+        if self._fastpath and not dependent_load:
+            # A non-dependent read's id can never match _wait_read_id
+            # (only dependent loads set it, each to its own id), so its
+            # completion logic is read-id-free and one shared bound
+            # method replaces the per-read closure.
+            callback: Callable[[float], None] = self._read_done_plain
+        else:
+            callback = self._make_read_callback(read_id)
         if not self.controller.submit_read(record.block, callback):
             # Read queue full: the line is already allocated; replay the
             # read (gap 0, same block - an LLC hit plus a fresh fill) once
@@ -313,7 +354,7 @@ class SimpleCore:
             return
         self.outstanding_reads += 1
 
-        if record.dependent and not record.is_write:
+        if dependent_load:
             self._wait_read_id = read_id
         elif self.outstanding_reads >= self.mlp:
             self._waiting_mlp = True
@@ -321,6 +362,18 @@ class SimpleCore:
     # ------------------------------------------------------------------
     # Resume callbacks
     # ------------------------------------------------------------------
+
+    def _read_done_plain(self, _completion_ns: float) -> None:
+        """Completion for non-dependent reads (fast mode).
+
+        Semantically :meth:`_make_read_callback`'s closure with the
+        read-id compare constant-folded away; see the comment at the
+        call site in :meth:`_handle_miss`.
+        """
+        self.outstanding_reads -= 1
+        if self._waiting_mlp and self.outstanding_reads < self.mlp:
+            self._waiting_mlp = False
+            self._run()
 
     def _make_read_callback(self, read_id: int) -> Callable[[float], None]:
         def on_done(_completion_ns: float) -> None:

@@ -130,6 +130,21 @@ class WearTracker:
         else:
             self.remappers = []
             self.block_damage = []
+        # Epoch-buffered fast path (see record_write_fast): whole writes
+        # (fraction == 1.0) accumulate in flat per-bank buffers - a float
+        # count of normal writes and an insertion-ordered {factor: count}
+        # dict per bank - and are folded into the records by flush_pending.
+        # Counts of whole writes are integers, which add exactly in any
+        # order, so the flushed records are bit-identical to per-write
+        # updates.  Fractional writes (cancellations, Flip-N-Write scaling)
+        # take the reference path, which flushes first to preserve the
+        # factor-dict insertion order the JSON exports depend on.
+        self._buffering = not detailed and not self._sanitize
+        self._pend_normal: List[float] = [0.0] * num_banks
+        self._pend_slow: List[Dict[float, float]] = [
+            {} for _ in range(num_banks)
+        ]
+        self._pend_dirty = False
 
     def record_write(
         self, bank: int, slow_factor: float, block: Optional[int] = None,
@@ -140,6 +155,8 @@ class WearTracker:
         ``fraction`` < 1 models a cancelled write attempt that only partially
         stressed the cell.
         """
+        if self._pend_dirty:
+            self.flush_pending()
         if self._sanitize:
             check(
                 0 <= bank < self.num_banks, "wear-conservation",
@@ -173,22 +190,75 @@ class WearTracker:
             self.block_damage[bank][physical] += damage_inc
             remapper.record_write()
 
+    def record_write_fast(self, bank: int, slow_factor: float, block: int,
+                          fraction: float) -> None:   # simlint: hotpath
+        """Hot-path :meth:`record_write` twin: epoch-buffered whole writes.
+
+        A whole write (``fraction == 1.0``) is one integer bump in a flat
+        per-bank buffer; anything fractional - and every write when the
+        sanitizer or detailed per-block tracking is active - falls through
+        to the reference path, which flushes the buffers first so the
+        per-bank factor dicts keep their reference insertion order.
+        """
+        if fraction == 1.0 and self._buffering:
+            if slow_factor == 1.0:
+                self._pend_normal[bank] += 1.0
+            else:
+                pend = self._pend_slow[bank]
+                pend[slow_factor] = pend.get(slow_factor, 0.0) + 1.0
+            self._pend_dirty = True
+            return
+        self.record_write(bank, slow_factor, block=block, fraction=fraction)
+
+    def flush_pending(self) -> None:
+        """Fold the epoch buffers into the per-bank records.
+
+        Runs once per telemetry epoch (the heatmap probe calls
+        :meth:`bank_damages`) and at every read of the records; integer
+        counts added in one shot equal the reference path's one-at-a-time
+        adds exactly, and per-bank first-seen factor order is preserved
+        because each pending dict is insertion-ordered.
+        """
+        if not self._pend_dirty:
+            return
+        pend_normal = self._pend_normal
+        pend_slow = self._pend_slow
+        for bank, record in enumerate(self.records):
+            count = pend_normal[bank]
+            if count:
+                record.normal_writes += count
+                pend_normal[bank] = 0.0
+            pend = pend_slow[bank]
+            if pend:
+                by_factor = record.slow_writes_by_factor
+                for factor, amount in pend.items():
+                    by_factor[factor] = by_factor.get(factor, 0.0) + amount
+                pend.clear()
+        self._pend_dirty = False
+
     def reset_records(self) -> None:
         """Zero every bank tally (used when the warmup window ends)."""
+        if self._pend_dirty:
+            self.flush_pending()
         for record in self.records:
             record.reset()
         self._damage_watermarks = [0.0] * self.num_banks
 
     def bank_damage(self, bank: int,
                     model: Optional[EnduranceModel] = None) -> float:
+        if self._pend_dirty:
+            self.flush_pending()
         return self.records[bank].damage(model or self.model)
 
     def bank_damages(self, model: Optional[EnduranceModel] = None) -> List[float]:
         """All banks' cumulative damage, in bank order.
 
         This is the telemetry wear-heatmap probe: O(num_banks) per call,
-        read-only, and sampled once per epoch.
+        read-only (after folding in the epoch buffers), and sampled once
+        per epoch.
         """
+        if self._pend_dirty:
+            self.flush_pending()
         chosen = model or self.model
         return [record.damage(chosen) for record in self.records]
 
@@ -228,4 +298,6 @@ class WearTracker:
         return max(self.block_damage[bank])
 
     def total_writes(self) -> float:
+        if self._pend_dirty:
+            self.flush_pending()
         return sum(r.total_writes for r in self.records)

@@ -37,6 +37,15 @@ class Bank:
     Writes are write-through: they never load the row buffer, and a write to
     the currently open row leaves the buffer open (the device updates it in
     place).  Reads open rows.
+
+    The three scheduling-hot fields (``busy_until``, ``open_row``,
+    ``in_flight``) have flat-array mirrors in the controller's fast path
+    (one list per field, indexed by bank id), so its issue scan reads
+    primitives instead of walking Bank objects.  The cold counters
+    (``busy_time_ns``, ``ops_begun``, ``ops_cancelled``, ``lines_retired``)
+    stay authoritative *here* in both modes - telemetry probes read them
+    live - and :meth:`apply_hot_state` writes the mirrors back at the fast
+    path's sync points (end of warmup, end of run).
     """
 
     __slots__ = ("index", "open_row", "busy_until", "in_flight",
@@ -92,3 +101,15 @@ class Bank:
 
     def open_row_for(self, row: int) -> None:
         self.open_row = row
+
+    def apply_hot_state(self, busy_until: float, open_row: Optional[int],
+                        in_flight: Optional[InFlight]) -> None:
+        """Adopt the controller fast path's flat-array state for this bank.
+
+        Called at sync points only (never per event), so any code that
+        inspects Bank objects after a fast run - RunResult collection,
+        warmup reset, tests - sees exactly what a reference run would.
+        """
+        self.busy_until = busy_until
+        self.open_row = open_row
+        self.in_flight = in_flight

@@ -20,7 +20,7 @@ Scheduling rules (Sections IV and V, Table II):
 from __future__ import annotations
 
 import itertools
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro import params
 from repro.core.decision import choose_write_factor
@@ -78,6 +78,50 @@ class _ControllerTelemetry:
             metrics.counter(bank_metric_name(i, "writes_normal"))
             for i in range(num_banks)
         ]
+        # Per-epoch pending increments (fast path only): whole-unit counter
+        # bumps accumulate in plain ints / flat per-bank int lists and are
+        # folded in by flush_pending, which the registry runs before every
+        # sample.  Integer adds commute exactly, so the sampled series are
+        # bit-identical to the reference path's per-event increments.
+        self.pend_reads = 0
+        self.pend_writes_normal = 0
+        self.pend_writes_slow = 0
+        self.pend_eager = 0
+        self.pend_cancellations = 0
+        self.pend_pauses = 0
+        self.pend_bank_slow: List[int] = [0] * num_banks
+        self.pend_bank_normal: List[int] = [0] * num_banks
+
+    def flush_pending(self) -> None:
+        """Fold the buffered fast-path increments into the live counters."""
+        if self.pend_reads:
+            self.reads_issued.value += self.pend_reads
+            self.pend_reads = 0
+        if self.pend_writes_normal:
+            self.writes_normal.value += self.pend_writes_normal
+            self.pend_writes_normal = 0
+        if self.pend_writes_slow:
+            self.writes_slow.value += self.pend_writes_slow
+            self.pend_writes_slow = 0
+        if self.pend_eager:
+            self.eager_issued.value += self.pend_eager
+            self.pend_eager = 0
+        if self.pend_cancellations:
+            self.cancellations.value += self.pend_cancellations
+            self.pend_cancellations = 0
+        if self.pend_pauses:
+            self.pauses.value += self.pend_pauses
+            self.pend_pauses = 0
+        bank_slow = self.pend_bank_slow
+        for index, count in enumerate(bank_slow):
+            if count:
+                self.bank_slow[index].value += count
+                bank_slow[index] = 0
+        bank_normal = self.pend_bank_normal
+        for index, count in enumerate(bank_normal):
+            if count:
+                self.bank_normal[index].value += count
+                bank_normal[index] = 0
 
 
 class ControllerStats:
@@ -143,6 +187,7 @@ class MemoryController:
         telemetry: Telemetry = NULL_TELEMETRY,
         faults: Optional[FaultInjector] = None,
         on_fatal: Optional[Callable[[float], None]] = None,
+        fastpath: bool = False,
     ) -> None:
         self.events = events
         self.policy = policy
@@ -174,13 +219,16 @@ class MemoryController:
         )
         self.read_q = RequestQueue(read_queue_entries, "read", clock=clock,
                                    sanitize=self._sanitize,
-                                   telemetry=telemetry)
+                                   telemetry=telemetry,
+                                   num_banks=self.amap.num_banks)
         self.write_q = RequestQueue(write_queue_entries, "write", clock=clock,
                                     sanitize=self._sanitize,
-                                    telemetry=telemetry)
+                                    telemetry=telemetry,
+                                    num_banks=self.amap.num_banks)
         self.eager_q = RequestQueue(eager_queue_entries, "eager", clock=clock,
                                     sanitize=self._sanitize,
-                                    telemetry=telemetry)
+                                    telemetry=telemetry,
+                                    num_banks=self.amap.num_banks)
         self.drain_low = drain_low
         self.drain_high = drain_high
         if not 0.0 <= cancel_threshold <= 1.0:
@@ -234,6 +282,63 @@ class MemoryController:
         # traces for the same config).
         self._request_ids = itertools.count()
 
+        # --------------------------------------------------------------
+        # Hot-path twin switch and its hoisted state (see docs/performance.md).
+        # Engaged only when the System asks for it AND nothing that needs
+        # the reference spine is active: the sanitizer's invariant checks
+        # and fault injection (write-verify at completion) run reference-
+        # only by design.  The switch never changes observable results -
+        # the fast twins below are bit-identical by construction - and
+        # never enters the result-cache key.
+        self._fastpath = bool(fastpath) and not self._sanitize and faults is None
+        self._num_banks = self.amap.num_banks
+        self._banks_per_rank = self.amap.banks_per_rank
+        self._blocks_per_row = self.amap.blocks_per_row
+        self._t_rcd = self.timing.t_rcd_ns
+        self._t_cas = self.timing.t_cas_ns
+        self._burst = self.timing.burst_ns
+        self._t_wp = self.timing.t_wp_normal_ns
+        self._cancel_penalty = self.timing.cancel_penalty_ns
+        self._closed_page = page_policy == "closed"
+        self._pausing = policy.pausing
+        self._cancel_normal = policy.cancel_normal
+        self._cancel_slow = policy.cancel_slow
+        # The Figure-9 decision tree degenerates to a constant for the
+        # static policies; only Bank-Aware / Wear-Quota / multi-latency
+        # policies need the per-write queue probes.
+        if policy.all_slow:
+            self._static_write_factor: Optional[float] = policy.slow_factor
+        elif policy.bank_aware or policy.wear_quota or policy.multi_latency:
+            self._static_write_factor = None
+        else:
+            self._static_write_factor = 1.0
+        # Eager writes never consult queue occupancy (Figure 9's rightmost
+        # leaf), so their factor is always static.
+        self._eager_factor = policy.slow_factor if policy.eager_slow else 1.0
+        # damage_per_write(factor) is a pure function of the factor; cache
+        # the handful of distinct factors a run can use.
+        self._damage_by_factor: Dict[float, float] = {}
+        # Flat mirrors of the scheduling-hot Bank fields, indexed by bank
+        # id: the fast spine's issue scan reads and writes these primitives
+        # and sync_bank_state writes them back to the Bank objects at sync
+        # points.  The cold per-bank counters (busy_time_ns, ops_begun,
+        # ops_cancelled) stay live on the Bank objects in both modes.
+        self._bank_busy_until: List[float] = [0.0] * self._num_banks
+        self._bank_open_row: List[Optional[int]] = [None] * self._num_banks
+        self._bank_in_flight: List[Optional[InFlight]] = (
+            [None] * self._num_banks)
+        if self._fastpath and self._ts is not None:
+            telemetry.metrics.add_pre_sample_hook(self._ts.flush_pending)
+        if self._fastpath:
+            # Instance-level rebinds: callers holding a bound reference
+            # (the core's writeback sink, the DRAM buffer, the eager
+            # queue) resolve the fast twins directly, skipping a dispatch
+            # frame per submission.  The class-level methods keep their
+            # dispatch for reference mode.
+            self.submit_read = self.submit_read_fast      # type: ignore[method-assign]
+            self.submit_write = self.submit_write_fast    # type: ignore[method-assign]
+            self.submit_eager = self.submit_eager_fast    # type: ignore[method-assign]
+
     # ------------------------------------------------------------------
     # Submission API (called by the LLC / CPU side)
     # ------------------------------------------------------------------
@@ -250,6 +355,8 @@ class MemoryController:
     def submit_read(self, block: int,
                     callback: Optional[Callable[[float], None]] = None) -> bool:
         """Enqueue a demand read; returns False if the read queue is full."""
+        if self._fastpath:
+            return self.submit_read_fast(block, callback)
         if self.read_q.full:
             return False
         request = self._make_request(READ, block, callback)
@@ -266,6 +373,8 @@ class MemoryController:
     def submit_write(self, block: int,
                      callback: Optional[Callable[[float], None]] = None) -> bool:
         """Enqueue a writeback; returns False if the write queue is full."""
+        if self._fastpath:
+            return self.submit_write_fast(block, callback)
         if self.write_q.full:
             return False
         request = self._make_request(WRITE, block, callback)
@@ -284,6 +393,8 @@ class MemoryController:
     def submit_eager(self, block: int,
                      callback: Optional[Callable[[float], None]] = None) -> bool:
         """Enqueue an eager mellow writeback; False if its queue is full."""
+        if self._fastpath:
+            return self.submit_eager_fast(block, callback)
         if self.eager_q.full:
             return False
         request = self._make_request(EAGER, block, callback)
@@ -402,6 +513,12 @@ class MemoryController:
     # ------------------------------------------------------------------
 
     def _try_issue_bank(self, bank_index: int) -> None:
+        if self._fastpath:
+            # Shared callers (drain sweeps, cancel-penalty pokes) land
+            # here; route them onto the fast spine so the flat bank-state
+            # mirrors stay the single source of truth in fast mode.
+            self._try_issue_bank_fast(bank_index)
+            return
         bank = self.banks[bank_index]
         now = self.events.now
         # A bank is free only when no operation object is outstanding AND
@@ -676,6 +793,387 @@ class MemoryController:
                     block=request.block, req_id=request.req_id,
                     factor=factor, detail=f"cells={newly_dead}")
 
+    # ------------------------------------------------------------------
+    # Hot-path twins (REPRO_NO_FASTPATH=1 forces the reference spine; the
+    # twins must stay bit-identical to it - see docs/performance.md)
+    # ------------------------------------------------------------------
+
+    def submit_read_fast(self, block: int,
+                         callback: Optional[Callable[[float], None]] = None,
+                         ) -> bool:   # simlint: hotpath
+        """Hot-path :meth:`submit_read` twin: decode and dispatch inlined."""
+        read_q = self.read_q
+        if read_q._size >= read_q.capacity:
+            return False
+        now = self.events.now
+        num_banks = self._num_banks
+        bank = block % num_banks
+        local = block // num_banks
+        # Positional Request construction (field order: kind, block, bank,
+        # rank, row, arrival_ns, callback, attempts, retries, speed_factor,
+        # progress_ns, req_id) - kwargs cost measurably on this path.
+        request = Request(
+            READ, block, bank, bank // self._banks_per_rank,
+            local // self._blocks_per_row, now, callback, 0, 0, 1.0, 0.0,
+            next(self._request_ids),
+        )
+        read_q.push_fast(request, now)
+        self.stats.reads_from_llc += 1
+        ts = self._ts
+        if ts is not None:
+            ts.record(now, EV_ENQUEUE, bank=bank, block=block,
+                      req_id=request.req_id, detail=READ)
+        op = self._bank_in_flight[bank]
+        if op is None:
+            if now >= self._bank_busy_until[bank]:
+                self._try_issue_bank_fast(bank)
+        elif (op.cancellable and not self.drain_mode
+              and now < self._bank_busy_until[bank]):
+            self._cancel_for_read_fast(bank, op, now)
+        return True
+
+    def submit_write_fast(self, block: int,
+                          callback: Optional[Callable[[float], None]] = None,
+                          ) -> bool:   # simlint: hotpath
+        """Hot-path :meth:`submit_write` twin."""
+        write_q = self.write_q
+        if write_q._size >= write_q.capacity:
+            return False
+        now = self.events.now
+        num_banks = self._num_banks
+        bank = block % num_banks
+        local = block // num_banks
+        request = Request(
+            WRITE, block, bank, bank // self._banks_per_rank,
+            local // self._blocks_per_row, now, callback, 0, 0, 1.0, 0.0,
+            next(self._request_ids),
+        )
+        write_q.push_fast(request, now)
+        self.stats.writes_from_llc += 1
+        ts = self._ts
+        if ts is not None:
+            ts.record(now, EV_ENQUEUE, bank=bank, block=block,
+                      req_id=request.req_id, detail=WRITE)
+        if not self.drain_mode and write_q._size >= self.drain_high:
+            self._enter_drain()
+        elif (self._bank_in_flight[bank] is None
+              and now >= self._bank_busy_until[bank]):
+            self._try_issue_bank_fast(bank)
+        return True
+
+    def submit_eager_fast(self, block: int,
+                          callback: Optional[Callable[[float], None]] = None,
+                          ) -> bool:   # simlint: hotpath
+        """Hot-path :meth:`submit_eager` twin."""
+        eager_q = self.eager_q
+        if eager_q._size >= eager_q.capacity:
+            return False
+        now = self.events.now
+        num_banks = self._num_banks
+        bank = block % num_banks
+        local = block // num_banks
+        request = Request(
+            EAGER, block, bank, bank // self._banks_per_rank,
+            local // self._blocks_per_row, now, callback, 0, 0, 1.0, 0.0,
+            next(self._request_ids),
+        )
+        eager_q.push_fast(request, now)
+        self.stats.eager_from_llc += 1
+        ts = self._ts
+        if ts is not None:
+            ts.record(now, EV_ENQUEUE, bank=bank, block=block,
+                      req_id=request.req_id, detail=EAGER)
+        if (self._bank_in_flight[bank] is None
+                and now >= self._bank_busy_until[bank]):
+            self._try_issue_bank_fast(bank)
+        return True
+
+    def _try_issue_bank_fast(self, bank_index: int) -> None:   # simlint: hotpath
+        """Hot-path :meth:`_try_issue_bank` twin: guard, select and issue.
+
+        One monolithic body covers the reference path's
+        ``_select_request`` / ``_issue_read`` / ``_issue_write`` chain with
+        the bank state read from the flat mirrors and every timing
+        constant pre-hoisted onto the controller.
+        """
+        if self._bank_in_flight[bank_index] is not None:
+            return
+        now = self.events.now
+        if now < self._bank_busy_until[bank_index]:
+            return
+        if self.drain_mode:
+            request = self.write_q.pop_bank_fast(bank_index, now)
+            if request is None:
+                return
+        elif self._frfcfs and self.read_q.count_bank(bank_index):
+            request = self.read_q.pop_bank_row_first(
+                bank_index, self._bank_open_row[bank_index])
+        else:
+            request = self.read_q.pop_bank_fast(bank_index, now)
+            if request is None:
+                request = self.write_q.pop_bank_fast(bank_index, now)
+                if request is None:
+                    request = self.eager_q.pop_bank_fast(bank_index, now)
+                    if request is None:
+                        return
+        stats = self.stats
+        ts = self._ts
+        burst = self._burst
+        if request.kind == READ:
+            row = request.row
+            if self._bank_open_row[bank_index] == row:
+                stats.read_row_hits += 1
+                ready = now
+                detail = "read"
+            else:
+                limiter = self.faw[bank_index // self._banks_per_rank]
+                act_start = limiter.earliest_activate(now)
+                limiter.record_activate(act_start)
+                ready = act_start + self._t_rcd
+                self._bank_open_row[bank_index] = row
+                stats.read_row_misses += 1
+                detail = "read miss"
+            start = ready + self._t_cas
+            if start < self.bus_free_ns:
+                start = self.bus_free_ns
+            self.bus_free_ns = start + burst
+            finish = start + burst
+            request.attempts += 1
+            stats.reads_issued += 1
+            if ts is not None:
+                ts.pend_reads += 1
+                ts.record(now, EV_ISSUE, bank=bank_index, block=request.block,
+                          req_id=request.req_id, detail=detail)
+            op = InFlight(
+                request=request, start_ns=now, finish_ns=finish,
+                pulse_start_ns=finish, cancellable=False,
+            )
+            self._bank_in_flight[bank_index] = op
+            self._bank_busy_until[bank_index] = finish
+            bank = self.banks[bank_index]
+            bank.busy_time_ns += finish - now
+            bank.ops_begun += 1
+            if self._read_space_waiters:
+                self._notify_read_space()
+            self.events.schedule(
+                finish, lambda: self._complete_read_fast(bank_index, op))
+            return
+        # WRITE or EAGER from here on.
+        progress = request.progress_ns
+        if progress > 0.0:
+            # Resuming a paused write: the pulse speed is committed.
+            factor = request.speed_factor
+        else:
+            if request.kind == EAGER:
+                factor = self._eager_factor
+            else:
+                static = self._static_write_factor
+                if static is not None:
+                    factor = static
+                else:
+                    factor = choose_write_factor(
+                        self.policy,
+                        kind=request.kind,
+                        other_writes_for_bank=self.write_q.count_bank(
+                            bank_index),
+                        reads_for_bank=self.read_q.count_bank(bank_index),
+                        quota_exceeded=(
+                            self.quota.is_slow_only(bank_index)
+                            if self.quota else False
+                        ),
+                        telemetry=self.telemetry,
+                    )
+            request.speed_factor = factor
+        slow = factor > 1.0
+        request.attempts += 1
+        start = now
+        if start < self.bus_free_ns:
+            start = self.bus_free_ns
+        self.bus_free_ns = start + burst
+        pulse_start = start + burst
+        remaining = self._t_wp * factor - progress
+        if remaining < 0.0:
+            remaining = 0.0
+        finish = pulse_start + remaining
+        if slow:
+            stats.writes_issued_slow += 1
+        else:
+            stats.writes_issued_normal += 1
+        eager = request.kind == EAGER
+        if eager:
+            stats.eager_issued += 1
+        if ts is not None:
+            if slow:
+                ts.pend_writes_slow += 1
+                ts.pend_bank_slow[bank_index] += 1
+            else:
+                ts.pend_writes_normal += 1
+                ts.pend_bank_normal[bank_index] += 1
+            if eager:
+                ts.pend_eager += 1
+            ts.record(now, EV_ISSUE, bank=bank_index, block=request.block,
+                      req_id=request.req_id, factor=factor,
+                      detail=request.kind)
+        op = InFlight(
+            request=request, start_ns=now, finish_ns=finish,
+            pulse_start_ns=pulse_start,
+            cancellable=self._cancel_slow if slow else self._cancel_normal,
+            resumed_progress_ns=progress,
+        )
+        self._bank_in_flight[bank_index] = op
+        self._bank_busy_until[bank_index] = finish
+        bank = self.banks[bank_index]
+        bank.busy_time_ns += finish - now
+        bank.ops_begun += 1
+        if not eager:
+            if self._write_space_waiters:
+                self._notify_write_space()
+            if self.drain_mode and self.write_q._size <= self.drain_low:
+                self._maybe_exit_drain()
+        self.events.schedule(
+            finish, lambda: self._complete_write_fast(bank_index, op))
+
+    def _complete_read_fast(self, bank_index: int,
+                            op: InFlight) -> None:   # simlint: hotpath
+        """Hot-path :meth:`_complete_read` twin."""
+        if self._bank_in_flight[bank_index] is not op:
+            # Stale completion for a cancelled/replaced operation; the bank
+            # may still be idle with queued work, so poke it.
+            self._try_issue_bank_fast(bank_index)
+            return
+        request = op.request
+        self._bank_in_flight[bank_index] = None
+        if self._closed_page:
+            self._bank_open_row[bank_index] = None
+        now = self.events.now
+        stats = self.stats
+        stats.reads_completed += 1
+        latency = now - request.arrival_ns
+        stats.read_latency_sum_ns += latency
+        ts = self._ts
+        if ts is not None:
+            ts.read_latency.observe(latency)
+            ts.record(now, EV_COMPLETE, bank=bank_index, block=request.block,
+                      req_id=request.req_id, detail=READ)
+        callback = request.callback
+        if callback is not None:
+            callback(now)
+        self._try_issue_bank_fast(bank_index)
+
+    def _complete_write_fast(self, bank_index: int,
+                             op: InFlight) -> None:   # simlint: hotpath
+        """Hot-path :meth:`_complete_write` twin (fault-free by contract)."""
+        if self._bank_in_flight[bank_index] is not op:
+            self._try_issue_bank_fast(bank_index)
+            return
+        request = op.request
+        self._bank_in_flight[bank_index] = None
+        self.stats.writes_completed += 1
+        resumed = op.resumed_progress_ns
+        if resumed > 0.0:
+            # A resumed write already deposited wear for its paused
+            # portions; charge only the remainder executed this attempt.
+            fraction = 1.0 - resumed / (self._t_wp * request.speed_factor)
+            if fraction < 0.0:
+                fraction = 0.0
+            self._record_wear_fast(request, fraction)
+        else:
+            self._record_wear_fast(request, 1.0)
+        ts = self._ts
+        if ts is not None:
+            ts.record(self.events.now, EV_COMPLETE, bank=bank_index,
+                      block=request.block, req_id=request.req_id,
+                      factor=request.speed_factor, detail=request.kind)
+        callback = request.callback
+        if callback is not None:
+            callback(self.events.now)
+        self._try_issue_bank_fast(bank_index)
+
+    def _record_wear_fast(self, request: Request,
+                          fraction: float) -> None:   # simlint: hotpath
+        """Hot-path :meth:`_record_wear` twin: no sanitizer, no faults."""
+        factor = request.speed_factor
+        if self.wear_scaler is not None:
+            fraction *= self.wear_scaler()
+        self.wear.record_write_fast(
+            request.bank, factor, request.block // self._num_banks, fraction)
+        quota = self.quota
+        if quota is not None:
+            damage = self._damage_by_factor.get(factor)
+            if damage is None:
+                damage = self.wear.model.damage_per_write(factor)
+                self._damage_by_factor[factor] = damage
+            # Inlined WearQuota.record_wear: one accumulator add.
+            quota.cumulative_wear[request.bank] += damage * fraction
+
+    def _cancel_for_read_fast(self, bank_index: int, op: InFlight,
+                              now: float) -> None:
+        """Hot-path :meth:`_maybe_cancel_for_read` tail.
+
+        The caller (submit_read_fast) has already established the guards:
+        not in drain mode, an in-flight cancellable operation, bank busy.
+        """
+        pulse_ns = self._t_wp * op.request.speed_factor
+        elapsed = now - op.pulse_start_ns
+        if elapsed < 0.0:
+            elapsed = 0.0
+        elif elapsed > pulse_ns:
+            elapsed = pulse_ns
+        fraction = elapsed / pulse_ns
+        pausing = self._pausing
+        if not pausing and fraction >= self.cancel_threshold:
+            return  # too far along; cancelling would waste a near-full pulse
+        victim_queue = self.eager_q if op.request.kind == EAGER else self.write_q
+        if victim_queue._size >= victim_queue.capacity:
+            return  # nowhere to put the victim; let the write finish
+        bank = self.banks[bank_index]
+        bank.busy_time_ns -= max(0.0, op.finish_ns - now)
+        self._bank_in_flight[bank_index] = None
+        bank.ops_cancelled += 1
+        # Partial cell stress: fraction of the programming pulse completed.
+        if fraction > 0.0:
+            self._record_wear_fast(op.request, fraction)
+        if pausing:
+            self.stats.pauses += 1
+            op.request.progress_ns = op.resumed_progress_ns + elapsed
+        else:
+            self.stats.cancellations += 1
+            op.request.progress_ns = 0.0
+        ts = self._ts
+        if ts is not None:
+            if pausing:
+                ts.pend_pauses += 1
+            else:
+                ts.pend_cancellations += 1
+            ts.record(
+                now, EV_PAUSE if pausing else EV_CANCEL,
+                bank=bank_index, block=op.request.block,
+                req_id=op.request.req_id, factor=op.request.speed_factor,
+                detail=f"{op.request.kind} progress={fraction:.3f}")
+        victim_queue.push_front(op.request)
+        # tiny turnaround penalty before the bank can accept the read
+        busy = now + self._cancel_penalty
+        self._bank_busy_until[bank_index] = busy
+        self.events.schedule(
+            busy, lambda b=bank_index: self._try_issue_bank(b),
+        )
+
+    def sync_bank_state(self) -> None:
+        """Write the fast path's flat bank-state mirrors back to the banks.
+
+        No-op on the reference path.  Runs at sync points only (end of
+        warmup via reset_statistics, RunResult collection), so everything
+        that inspects Bank objects after a fast run sees exactly what a
+        reference run would have left there.
+        """
+        if not self._fastpath:
+            return
+        busy = self._bank_busy_until
+        rows = self._bank_open_row
+        ops = self._bank_in_flight
+        for index, bank in enumerate(self.banks):
+            bank.apply_hot_state(busy[index], rows[index], ops[index])
+
     def _notify_write_space(self) -> None:
         while self._write_space_waiters and not self.write_q.full:
             self._write_space_waiters.pop(0)()
@@ -706,6 +1204,7 @@ class MemoryController:
 
     def reset_statistics(self) -> None:
         """Clear stats and utilization counters (end of warmup)."""
+        self.sync_bank_state()
         self.stats.reset()
         for bank in self.banks:
             # Charge only the remaining busy time to the new window.

@@ -11,6 +11,16 @@ Three queues with strictly decreasing priority:
 Each queue keeps a per-bank FIFO index so the controller can ask, per idle
 bank, for the oldest request targeting it, and for bank occupancy counts
 (the Bank-Aware decision needs "how many writes are queued for this bank?").
+
+The per-bank index is a flat list of deques indexed by bank id (banks are
+small dense integers from :meth:`repro.memory.address.AddressMap.decode`),
+so the controller's per-bank probes are list indexing rather than dict
+hashing.  Pass ``num_banks`` to preallocate the list; without it the list
+grows on demand, which keeps direct construction in tests trivial.  The
+``*_fast`` methods are the controller hot-path twins of ``push`` /
+``try_pop_bank``: the caller has already checked capacity, passes the
+clock value instead of paying the clock-closure call, and runs only with
+the sanitizer disarmed.
 """
 
 from __future__ import annotations
@@ -18,7 +28,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, List, Optional
 
 from repro.lint.sanitize import check, resolve
 from repro.telemetry import NULL_TELEMETRY, Telemetry
@@ -92,12 +102,13 @@ class RequestQueue:
     def __init__(self, capacity: int, name: str,
                  clock: Optional[Callable[[], float]] = None,
                  sanitize: Optional[bool] = None,
-                 telemetry: Telemetry = NULL_TELEMETRY) -> None:
+                 telemetry: Telemetry = NULL_TELEMETRY,
+                 num_banks: int = 0) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.name = name
-        self._per_bank: Dict[int, Deque[Request]] = {}
+        self._fifos: List[Deque[Request]] = [deque() for _ in range(num_banks)]
         self._size = 0
         self._clock = clock
         self._occupancy_integral = 0.0
@@ -109,7 +120,7 @@ class RequestQueue:
         self._epoch_peak = 0
 
     def _check_occupancy(self) -> None:
-        per_bank_total = sum(len(dq) for dq in self._per_bank.values())
+        per_bank_total = sum(len(dq) for dq in self._fifos)
         check(
             0 <= self._size <= self.capacity, "queue-occupancy",
             f"{self.name} queue size counter out of bounds",
@@ -152,12 +163,19 @@ class RequestQueue:
     def empty(self) -> bool:
         return self._size == 0
 
+    def _grow_to(self, bank: int) -> Deque[Request]:
+        """Ensure the per-bank list covers ``bank``; returns its FIFO."""
+        fifos = self._fifos
+        while len(fifos) <= bank:
+            fifos.append(deque())
+        return fifos[bank]
+
     def push(self, request: Request) -> None:
         """Append a request; raises if the queue is full."""
         if self.full:
             raise OverflowError(f"{self.name} queue overflow")
         self._integrate()
-        self._per_bank.setdefault(request.bank, deque()).append(request)
+        self._grow_to(request.bank).append(request)
         self._size += 1
         if self._track_peak and self._size > self._epoch_peak:
             self._epoch_peak = self._size
@@ -169,18 +187,34 @@ class RequestQueue:
         if self.full:
             raise OverflowError(f"{self.name} queue overflow")
         self._integrate()
-        self._per_bank.setdefault(request.bank, deque()).appendleft(request)
+        self._grow_to(request.bank).appendleft(request)
         self._size += 1
         if self._track_peak and self._size > self._epoch_peak:
             self._epoch_peak = self._size
         if self._sanitize:
             self._check_occupancy()
 
+    def push_fast(self, request: Request, now: float) -> None:   # simlint: hotpath
+        """Hot-path :meth:`push` twin: preallocated banks, caller's clock.
+
+        The caller has already rejected the full-queue case, constructed
+        the queue with ``num_banks`` (so no growth check is needed) and
+        runs with the sanitizer disarmed; ``now`` is passed in so the
+        occupancy integration skips the clock-closure call.
+        """
+        if self._clock is not None:
+            self._occupancy_integral += self._size * (now - self._last_change_ns)
+            self._last_change_ns = now
+        self._fifos[request.bank].append(request)
+        self._size += 1
+        if self._track_peak and self._size > self._epoch_peak:
+            self._epoch_peak = self._size
+
     def peek_bank(self, bank: int) -> Optional[Request]:
         """Oldest request for ``bank`` without removing it."""
-        per_bank = self._per_bank.get(bank)
-        if per_bank:
-            return per_bank[0]
+        fifos = self._fifos
+        if bank < len(fifos) and fifos[bank]:
+            return fifos[bank][0]
         return None
 
     def pop_bank_row_first(self, bank: int, open_row: Optional[int]) -> Request:
@@ -190,7 +224,8 @@ class RequestQueue:
         selection rule: requests to the currently open row bypass older
         row-miss requests, trading fairness for row-buffer locality.
         """
-        per_bank = self._per_bank.get(bank)
+        fifos = self._fifos
+        per_bank = fifos[bank] if bank < len(fifos) else None
         if not per_bank:
             raise LookupError(f"no {self.name} request for bank {bank}")
         self._integrate()
@@ -210,7 +245,8 @@ class RequestQueue:
 
     def pop_bank(self, bank: int) -> Request:
         """Remove and return the oldest request for ``bank``."""
-        per_bank = self._per_bank.get(bank)
+        fifos = self._fifos
+        per_bank = fifos[bank] if bank < len(fifos) else None
         if not per_bank:
             raise LookupError(f"no {self.name} request for bank {bank}")
         self._integrate()
@@ -225,9 +261,10 @@ class RequestQueue:
 
         The controller's per-bank issue loop runs this on every issue
         opportunity; folding the emptiness test into the pop halves the
-        dictionary lookups of the ``count_bank``-then-``pop_bank`` idiom.
+        index lookups of the ``count_bank``-then-``pop_bank`` idiom.
         """
-        per_bank = self._per_bank.get(bank)
+        fifos = self._fifos
+        per_bank = fifos[bank] if bank < len(fifos) else None
         if not per_bank:
             return None
         self._integrate()
@@ -236,6 +273,17 @@ class RequestQueue:
         if self._sanitize:
             self._check_occupancy()
         return popped
+
+    def pop_bank_fast(self, bank: int, now: float) -> Optional[Request]:   # simlint: hotpath
+        """Hot-path :meth:`try_pop_bank` twin (see :meth:`push_fast`)."""
+        fifo = self._fifos[bank]
+        if not fifo:
+            return None
+        if self._clock is not None:
+            self._occupancy_integral += self._size * (now - self._last_change_ns)
+            self._last_change_ns = now
+        self._size -= 1
+        return fifo.popleft()
 
     def epoch_peak_depth(self) -> int:
         """Peak occupancy since the last call (telemetry epoch probe).
@@ -249,9 +297,9 @@ class RequestQueue:
 
     def count_bank(self, bank: int) -> int:
         """Number of queued requests targeting ``bank``."""
-        per_bank = self._per_bank.get(bank)
-        return len(per_bank) if per_bank else 0
+        fifos = self._fifos
+        return len(fifos[bank]) if bank < len(fifos) else 0
 
     def banks_with_requests(self) -> List[int]:
         """Banks that currently have at least one queued request."""
-        return [bank for bank, dq in self._per_bank.items() if dq]
+        return [bank for bank, dq in enumerate(self._fifos) if dq]

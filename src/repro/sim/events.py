@@ -12,6 +12,19 @@ observable side effects of scheduling-then-popping an event at that time
 round trip and callback allocation.  The schedule/pop pair and the
 analytic advance are interchangeable by construction, which is what keeps
 fast-path runs bit-identical to forced-off runs.
+
+The miss path has its own seam, the *deferred event*
+(:meth:`EventQueue.defer`): a single event that reserves its sequence
+number immediately - so FIFO tie-breaking against everything scheduled
+after it is preserved - but stays out of the heap until the drain loop
+(:meth:`run_fast`) decides its fate.  If the simulation window up to the
+deferred time is quiescent (no pending event due at or before it), the
+loop jumps the clock and runs the callback inline, skipping the heap
+round trip; otherwise the event is flushed into the heap with its
+reserved sequence number and ordinary (time, seq) ordering takes over.
+Both resolutions are observably identical to having scheduled the event
+eagerly, which is what keeps batched miss-path runs bit-identical to
+reference runs.
 """
 
 from __future__ import annotations
@@ -40,7 +53,8 @@ class EventQueue:
     identical whether or not the fast path is engaged.
     """
 
-    __slots__ = ("_heap", "_seq", "now", "_sanitize", "_executed")
+    __slots__ = ("_heap", "_seq", "now", "_sanitize", "_executed",
+                 "_deferred", "stop")
 
     def __init__(self, sanitize: Optional[bool] = None,
                  telemetry: Telemetry = NULL_TELEMETRY) -> None:
@@ -50,6 +64,11 @@ class EventQueue:
         self._sanitize = resolve(sanitize)
         self._executed = (telemetry.metrics.counter("events.executed")
                           if telemetry.enabled else None)
+        # The single deferred-event slot (fast path only; see module doc).
+        self._deferred: Optional[Tuple[float, int, Callback]] = None
+        # Cooperative stop flag for run_fast: the driver sets it when its
+        # termination condition holds, ending the batched drain.
+        self.stop = False
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -86,6 +105,13 @@ class EventQueue:
         heap = self._heap
         if heap and heap[0][0] <= time_ns:
             return False
+        deferred = self._deferred
+        if deferred is not None and deferred[0] <= time_ns:
+            # A deferred event counts as pending even though it is not in
+            # the heap yet.  The core never advances with one outstanding
+            # (it owns the clock only from loop-level frames, where the
+            # slot is empty), but the contract must hold for any caller.
+            return False
         if self._sanitize:
             check(
                 time_ns >= self.now, "event-time-monotonicity",
@@ -117,9 +143,109 @@ class EventQueue:
         callback()
         return True
 
+    # ------------------------------------------------------------------
+    # Deferred event: the miss-path batch-advance seam (fast path only)
+    # ------------------------------------------------------------------
+
+    def defer(self, time_ns: float, callback: Callback) -> None:
+        """Register ``callback`` at ``time_ns`` without entering the heap.
+
+        Exactly one deferral may be outstanding; its sequence number is
+        reserved *now*, so any event scheduled afterwards sorts behind it
+        on time ties - precisely as if :meth:`schedule` had been called.
+        The drain loop resolves the slot before running anything else:
+        inline when the window up to ``time_ns`` is quiescent, flushed
+        into the heap (reserved seq intact) when an event intervenes.
+        """
+        if time_ns < self.now:
+            raise ValueError(
+                f"cannot defer event at {time_ns} ns before now ({self.now} ns)"
+            )
+        if self._deferred is not None:
+            raise RuntimeError("a deferred event is already outstanding")
+        self._deferred = (time_ns, self._seq, callback)
+        self._seq += 1
+
+    @property
+    def deferred_time(self) -> Optional[float]:
+        """Time of the outstanding deferred event, or None."""
+        deferred = self._deferred
+        return deferred[0] if deferred is not None else None
+
+    def flush_deferred(self) -> None:
+        """Push the outstanding deferral into the heap (reserved seq)."""
+        deferred = self._deferred
+        if deferred is None:
+            raise RuntimeError("no deferred event to flush")
+        heappush(self._heap, deferred)
+        self._deferred = None
+
+    def run_fast(self, budget: int) -> int:   # simlint: hotpath
+        """Batched drain: run up to ``budget`` events, deferral-aware.
+
+        The hot-path twin of the reference driver loop (``pop_and_run``
+        per event): every per-event attribute load is hoisted out of the
+        loop and the deferred-event slot is resolved at the top of each
+        iteration - run inline when no pending event is due at or before
+        its time (the analytic jump across a quiescent window), flushed
+        into the heap otherwise, including the exact-tie case so FIFO
+        sequence ordering decides.  Returns the number of events executed;
+        the drain ends when :attr:`stop` is set, the budget is spent, or
+        no event (heap or deferred) remains.  Each inline run has the
+        exact observable side effects of flushing then popping: the
+        monotonicity check, the clock update and one executed event.
+        """
+        heap = self._heap
+        sanitize = self._sanitize
+        executed = self._executed
+        pop = heappop
+        count = 0
+        while not self.stop and count < budget:
+            deferred = self._deferred
+            if deferred is not None:
+                if heap and heap[0][0] <= deferred[0]:
+                    heappush(heap, deferred)
+                    self._deferred = None
+                else:
+                    self._deferred = None
+                    if sanitize:
+                        check(
+                            deferred[0] >= self.now,
+                            "event-time-monotonicity",
+                            "deferred event would run in the past",
+                            event_time_ns=deferred[0], now_ns=self.now,
+                            sequence=deferred[1],
+                        )
+                    self.now = deferred[0]
+                    if executed is not None:
+                        executed.value += 1.0
+                    deferred[2]()
+                    count += 1
+                    continue
+            if not heap:
+                break
+            time_ns, seq, callback = pop(heap)
+            if sanitize:
+                check(
+                    time_ns >= self.now, "event-time-monotonicity",
+                    "event queue popped an event from the past",
+                    event_time_ns=time_ns, now_ns=self.now, sequence=seq,
+                )
+            self.now = time_ns
+            if executed is not None:
+                executed.value += 1.0
+            callback()
+            count += 1
+        return count
+
     def run_until(self, time_ns: float) -> None:
-        """Run every event scheduled at or before ``time_ns``."""
-        while self._heap and self._heap[0][0] <= time_ns:
+        """Run every event scheduled (or deferred) at or before ``time_ns``."""
+        while True:
+            deferred = self._deferred
+            if deferred is not None and deferred[0] <= time_ns:
+                self.flush_deferred()
+            if not (self._heap and self._heap[0][0] <= time_ns):
+                break
             self.pop_and_run()
         if self.now < time_ns:
             self.now = time_ns
@@ -127,7 +253,9 @@ class EventQueue:
     def run_all(self, max_events: Optional[int] = None) -> int:
         """Drain the queue; returns the number of events executed."""
         count = 0
-        while self._heap:
+        while self._heap or self._deferred is not None:
+            if self._deferred is not None:
+                self.flush_deferred()
             if max_events is not None and count >= max_events:
                 break
             self.pop_and_run()

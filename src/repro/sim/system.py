@@ -151,6 +151,7 @@ class System:
             telemetry=self.telemetry,
             faults=self.faults,
             on_fatal=self._on_fault_fatal if self.faults is not None else None,
+            fastpath=fastpath_enabled(),
         )
         self.dram_buffer: Optional[DramWriteBuffer] = None
         if config.dram_buffer_entries > 0:
@@ -294,6 +295,7 @@ class System:
             # schedule (never inline) gap events, so the run ends with the
             # same pending-event state as a forced-off run.
             self.core.stop_requested = True
+            self.events.stop = True
 
     def _on_fault_fatal(self, now: float) -> None:
         """An uncorrectable error: end the run gracefully at ``now``.
@@ -311,6 +313,7 @@ class System:
         self._measure_end_ns = now
         self._done = True
         self.core.stop_requested = True
+        self.events.stop = True
 
     def _end_warmup(self) -> None:
         self._measure_start_ns = self.events.now
@@ -425,16 +428,20 @@ class System:
         if self.config.warmup_accesses == 0:
             self._end_warmup()
 
-        executed = 0
-        while not self._done:
-            if not self.events.pop_and_run():
-                raise DeadlockError(
-                    f"event queue drained at {self.events.now} ns with "
-                    f"{self.core.accesses_processed} accesses processed"
-                )
-            executed += 1
-            if executed > max_events:
-                raise DeadlockError("event budget exhausted; likely livelock")
+        if self.core.fastpath_active:
+            self._drain_events_fast(max_events)
+        else:
+            executed = 0
+            while not self._done:
+                if not self.events.pop_and_run():
+                    raise DeadlockError(
+                        f"event queue drained at {self.events.now} ns with "
+                        f"{self.core.accesses_processed} accesses processed"
+                    )
+                executed += 1
+                if executed > max_events:
+                    raise DeadlockError(
+                        "event budget exhausted; likely livelock")
         result = self._collect()
         if self.telemetry.enabled:
             # Close the final (possibly partial) epoch so the wear time
@@ -447,10 +454,44 @@ class System:
                 self.telemetry.write(Path(self.config.telemetry_dir))
         return result
 
+    def _drain_events_fast(self, max_events: int) -> None:
+        """Hot-path twin of the reference drain loop in :meth:`run`.
+
+        Hands the whole budget to :meth:`EventQueue.run_fast`, which pops
+        (and resolves deferrals) with every per-event load hoisted out of
+        the loop; ``_on_access`` / ``_on_fault_fatal`` raise the queue's
+        cooperative ``stop`` flag to end the drain exactly where the
+        reference loop's ``self._done`` check would.  The budget check
+        mirrors the reference ordering: the event that exhausts the budget
+        raises even when it also completed the run.
+        """
+        events = self.events
+        events.stop = False
+        executed = events.run_fast(max_events + 1)
+        if executed > max_events:
+            raise DeadlockError("event budget exhausted; likely livelock")
+        if not self._done:
+            raise DeadlockError(
+                f"event queue drained at {events.now} ns with "
+                f"{self.core.accesses_processed} accesses processed"
+            )
+        if events.deferred_time is not None:
+            # A deferral can survive the drain only when a fatal fault in
+            # another event's callback stopped the run first; flush it so
+            # the queue ends in the same pending state as a reference run.
+            events.flush_deferred()
+
     # ------------------------------------------------------------------
 
     def _collect(self) -> RunResult:
         config = self.config
+        # Fast-path sync points: fold any epoch-buffered wear into the
+        # records and write the controller's flat bank-state mirrors back
+        # to the Bank objects, so collection below reads exactly what a
+        # reference run would have left behind.  Both are no-ops on the
+        # reference path.
+        self.wear.flush_pending()
+        self.controller.sync_bank_state()
         measure_start = self._measure_start_ns
         measure_end = self._measure_end_ns
         assert measure_start is not None and measure_end is not None, (

@@ -38,16 +38,25 @@ class WearHeatmap:
         return self._probe is not None
 
     def snapshot(self, now_ns: float) -> None:
-        """Record one epoch row; no-op until a probe is attached."""
+        """Record one epoch row; no-op until a probe is attached.
+
+        The probe call doubles as the epoch flush point for buffered wear
+        accounting: :meth:`repro.endurance.wear.WearTracker.bank_damages`
+        folds the hot path's pending whole-write buffers into the per-bank
+        records before reporting, so heatmap rows are identical whether
+        the hot path is engaged or not.  The shape check runs on the raw
+        probe result, before the row copy, so a misbehaving probe fails
+        loudly without a partially-built row being allocated first.
+        """
         if self._probe is None:
             return
-        row = [float(v) for v in self._probe()]
-        if len(row) != self.num_banks:
+        values = self._probe()
+        if len(values) != self.num_banks:
             raise ValueError(
-                f"wear probe returned {len(row)} values for "
+                f"wear probe returned {len(values)} values for "
                 f"{self.num_banks} banks")
         self.epoch_times_ns.append(now_ns)
-        self.rows.append(row)
+        self.rows.append([float(v) for v in values])
 
     @property
     def num_epochs(self) -> int:

@@ -133,6 +133,17 @@ class MetricRegistry:
         self._names: Set[str] = set()
         self.sample_times_ns: List[float] = []
         self.series: Dict[str, List[Optional[float]]] = {}
+        self._pre_sample_hooks: List[Callable[[], None]] = []
+
+    def add_pre_sample_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` before each sample (and each live export).
+
+        Components that buffer whole-unit counter increments between
+        epochs (the controller's fast path) register their flush here, so
+        the sampled series - and :meth:`current` snapshots - always show
+        the same values the reference path's per-event increments would.
+        """
+        self._pre_sample_hooks.append(hook)
 
     # -- instrument factories ------------------------------------------
 
@@ -181,6 +192,8 @@ class MetricRegistry:
 
     def sample(self, now_ns: float) -> None:
         """Record one epoch: snapshot every instrument and probe."""
+        for hook in self._pre_sample_hooks:
+            hook()
         index = len(self.sample_times_ns)
         self.sample_times_ns.append(now_ns)
         for name, counter in self._counters.items():
@@ -204,6 +217,8 @@ class MetricRegistry:
         serve`` ``/metrics`` endpoint - that want live values outside
         the simulator's epoch cadence.
         """
+        for hook in self._pre_sample_hooks:
+            hook()
         return {
             "counters": {name: counter.value for name, counter in
                          sorted(self._counters.items())},

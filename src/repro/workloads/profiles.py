@@ -112,9 +112,21 @@ class _FastTrace:
     cursor lives on the pattern objects, never in a generator frame.  The
     gap draw still happens in ``raw`` (its value is discarded) to keep
     the stream aligned with the reference path.
+
+    ``raw_parts`` goes one step further for the warmup loop: it hands out
+    the bound ``rng.random`` and the compiled closures themselves so
+    :meth:`repro.cache.llc.LastLevelCache.warm_chunk` can inline the draw
+    sequence into its own frame - no generator resume and no pair tuple
+    per record.  The draw order is identical to ``raw``'s, so consuming
+    via either (or switching between them) yields the same stream.
+
+    ``fast_next`` is the record generator's bound ``__next__``: the core's
+    hot loop calls it directly, skipping the ``builtins.next`` and
+    ``__next__`` wrapper frames the iterator protocol would add per
+    record.
     """
 
-    __slots__ = ("raw", "_records", "_next")
+    __slots__ = ("raw", "raw_parts", "fast_next", "_records", "_next")
 
     def __init__(self, rng: random.Random, patterns: WeightedPatterns,
                  cumulative: List[float], mean_gap: float) -> None:
@@ -126,8 +138,10 @@ class _FastTrace:
         rnd = rng.random
         lambd = 1.0 / mean_gap
         self.raw = self._raw_gen(rnd, compiled, fallback)
+        self.raw_parts = (rnd, compiled, fallback)
         self._records = self._record_gen(rnd, compiled, fallback, lambd)
         self._next = self._records.__next__
+        self.fast_next = self._next
 
     def __iter__(self) -> "Iterator[TraceRecord]":
         return self
