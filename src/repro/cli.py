@@ -73,6 +73,13 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                         help="measured LLC accesses (default from SimConfig)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="scale factor on the simulation windows")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        help="pause and snapshot every N processed LLC "
+                             "accesses (resume with 'repro resume')")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="directory for snapshot files (only written "
+                             "when the run actually simulates, i.e. on "
+                             "cache misses)")
 
 
 def _config_from_args(args: argparse.Namespace, workload: str,
@@ -88,6 +95,13 @@ def _config_from_args(args: argparse.Namespace, workload: str,
     )
     if args.measure is not None:
         kwargs["measure_accesses"] = args.measure
+    if getattr(args, "checkpoint_every", None) is not None:
+        if args.checkpoint_every < 1:
+            raise CLIError(f"--checkpoint-every must be >= 1, "
+                           f"got {args.checkpoint_every}")
+        kwargs["checkpoint_every"] = args.checkpoint_every
+    if getattr(args, "checkpoint_dir", None) is not None:
+        kwargs["checkpoint_dir"] = args.checkpoint_dir
     config = SimConfig(**kwargs)
     if args.scale != 1.0:
         config = config.scaled(args.scale)
@@ -127,6 +141,50 @@ def cmd_run(args: argparse.Namespace) -> int:
         from repro.analysis.export import write_run_result
         path = write_run_result(result, args.output, telemetry=bundle)
         print(f"wrote {path}")
+    return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Resume a checkpointed run from a snapshot file.
+
+    The snapshot embeds its full config, so the file is the only required
+    input; ``--checkpoint-every`` / ``--checkpoint-dir`` override the
+    slicing knobs for the rest of the run (they are not part of the
+    simulation's identity).  The completed result is bit-identical to
+    the run that would have produced it straight through.
+    """
+    from dataclasses import replace
+
+    from repro.checkpoint import (CheckpointCorruptionError, CheckpointError,
+                                  load_snapshot, restore_state)
+    from repro.sim.system import System
+
+    path = Path(args.snapshot)
+    try:
+        config, state = load_snapshot(path)
+    except FileNotFoundError:
+        raise CLIError(f"snapshot not found: {path}") from None
+    except CheckpointCorruptionError as error:
+        raise CLIError(str(error)) from None
+    if args.checkpoint_every is not None:
+        if args.checkpoint_every < 1:
+            raise CLIError(f"--checkpoint-every must be >= 1, "
+                           f"got {args.checkpoint_every}")
+        config = replace(config, checkpoint_every=args.checkpoint_every)
+    if args.checkpoint_dir is not None:
+        config = replace(config, checkpoint_dir=args.checkpoint_dir)
+    system = System(config)
+    try:
+        restore_state(system, state)
+    except CheckpointError as error:
+        raise CLIError(str(error)) from None
+    system.rearm_after_restore()
+    result = system.finish_run()
+    print(render(_result_table([result])))
+    if args.output:
+        from repro.analysis.export import write_run_result
+        out = write_run_result(result, args.output)
+        print(f"wrote {out}")
     return 0
 
 
@@ -443,26 +501,56 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
-    """Monte Carlo lifetime-to-failure comparison under fault injection."""
+    """Monte Carlo lifetime-to-failure comparison under fault injection.
+
+    With ``--slices > 1`` the study runs sharded: every (policy, seed)
+    sample is cut into checkpointed time slices and seeds x slices
+    scatter across the worker pool, which is bit-identical to the
+    serial study (the sliced runs share its cache entries).  Output is
+    the per-policy summary, a survival bar chart, and a Kaplan-Meier
+    table with Greenwood 95% confidence bands.
+    """
     from repro.analysis.charts import bar_chart
     from repro.experiments.faults import (
         DEFAULT_MC_SCALE,
         SURVIVAL_POLICIES,
+        sharded_survival_study,
+        survival_configs,
+        survival_curve_table,
+        survival_records,
         survival_summary,
     )
     if args.seeds < 1:
         raise CLIError(f"--seeds must be >= 1, got {args.seeds}")
+    if args.slices < 1:
+        raise CLIError(f"--slices must be >= 1, got {args.slices}")
     policies = (args.policies.split(",") if args.policies
                 else list(SURVIVAL_POLICIES))
     for name in policies:
         _validate_policy(name)
     _validate_workload(args.workload)
+    runner = Runner()
+    scale = args.scale if args.scale is not None else DEFAULT_MC_SCALE
+    progress = None if args.quiet else _print_progress
+    if args.slices > 1:
+        records = sharded_survival_study(
+            runner=runner, workload=args.workload, policies=policies,
+            seeds=args.seeds, scale=scale, slices=args.slices,
+            jobs=args.jobs, checkpoint_dir=args.checkpoint_dir,
+            progress=progress,
+        )
+        progress = None   # the summary below replays from the cache
+    else:
+        results = runner.sweep(
+            survival_configs(args.workload, policies, args.seeds,
+                             scale=scale),
+            jobs=args.jobs, progress=progress,
+        )
+        records = survival_records(policies, args.seeds, results)
+        progress = None
     table = survival_summary(
-        runner=Runner(), workload=args.workload, policies=policies,
-        seeds=args.seeds,
-        scale=args.scale if args.scale is not None else DEFAULT_MC_SCALE,
-        jobs=args.jobs,
-        progress=None if args.quiet else _print_progress,
+        runner=runner, workload=args.workload, policies=policies,
+        seeds=args.seeds, scale=scale, jobs=args.jobs, progress=progress,
     )
     print(render(table))
     print()
@@ -471,6 +559,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
         [(policy, survival[policy]) for policy in policies],
         unit=" ns",
     ))
+    print()
+    print(render(survival_curve_table(records, policies, args.workload)))
     if args.output:
         from repro.analysis.export import write_table
         path = write_table(table, args.output)
@@ -566,6 +656,23 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write the full result as JSON (includes "
                                  "telemetry when --telemetry is set)")
     run_parser.set_defaults(handler=cmd_run)
+
+    resume_parser = subparsers.add_parser(
+        "resume", help="resume a checkpointed run from a snapshot file",
+    )
+    resume_parser.add_argument("snapshot",
+                               help="snapshot file written by a "
+                                    "--checkpoint-dir run (self-contained: "
+                                    "embeds its full config)")
+    resume_parser.add_argument("--checkpoint-every", type=int, default=None,
+                               help="override the pause interval for the "
+                                    "rest of the run")
+    resume_parser.add_argument("--checkpoint-dir", default=None,
+                               help="override where further snapshots "
+                                    "are written")
+    resume_parser.add_argument("--output", default=None,
+                               help="write the full result as JSON")
+    resume_parser.set_defaults(handler=cmd_resume)
 
     trace_parser = subparsers.add_parser(
         "trace", help="run with telemetry and export a Perfetto-ready "
@@ -701,6 +808,14 @@ def build_parser() -> argparse.ArgumentParser:
     faults_parser.add_argument("--jobs", type=int, default=None,
                                help="parallel workers (default REPRO_JOBS "
                                     "or all cores)")
+    faults_parser.add_argument("--slices", type=int, default=1,
+                               help="checkpoint time slices per sample; "
+                                    ">1 shards seeds x slices across the "
+                                    "worker pool (default 1 = unsliced)")
+    faults_parser.add_argument("--checkpoint-dir", default=None,
+                               help="directory for intermediate shard "
+                                    "snapshots (default: private temp dir, "
+                                    "removed afterwards)")
     faults_parser.add_argument("--quiet", action="store_true",
                                help="suppress per-run progress on stderr")
     faults_parser.add_argument("--output", default=None,

@@ -41,7 +41,10 @@ from __future__ import annotations
 
 import logging
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import shutil
+import tempfile
+from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
+                                as_completed, wait)
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
@@ -148,6 +151,42 @@ def _simulate_to_dict(config: SimConfig) -> dict:
     bundle, for every other backend the parent ingests it afterwards.
     """
     return result_to_dict(run_simulation(config))
+
+
+def _advance_slice(config: SimConfig, snapshot_path: Optional[str],
+                   next_snapshot_path: str) -> tuple:
+    """Worker entry point for sliced sweeps: run one checkpoint segment.
+
+    The first slice of a run starts from the config; later slices resume
+    from the snapshot the previous slice (possibly in a *different*
+    process) wrote.  Returns ``("pending", path)`` after writing the next
+    snapshot, or ``("done", result_dict)`` when the run completed.
+
+    A snapshot that fails validation - truncated, bit-flipped, or from a
+    mismatched environment - is not fatal: the worker warns and
+    re-simulates the whole run from scratch, which is bit-identical to
+    the interrupted one (the checkpoint equivalence contract), exactly
+    like the store layer's unreadable-entry fallback.
+    """
+    from repro.checkpoint import CheckpointError, restore_system, save_snapshot
+    from repro.sim.system import System
+
+    if snapshot_path is None:
+        system = System(config)
+        system.start_run()
+    else:
+        try:
+            system = restore_system(snapshot_path)
+        except (CheckpointError, FileNotFoundError, OSError) as error:
+            logger.warning(
+                "snapshot %s unusable (%s); re-simulating from scratch",
+                snapshot_path, error)
+            return ("done", _simulate_to_dict(config))
+    result = system.continue_run()
+    if result is None:
+        save_snapshot(system, next_snapshot_path)
+        return ("pending", next_snapshot_path)
+    return ("done", result_to_dict(result))
 
 
 class Runner:
@@ -415,6 +454,154 @@ class Runner:
                     finish(futures[future], result_from_dict(future.result()))
 
         return [results[i] for i in range(total)]
+
+    def sweep_sliced(self, configs: Iterable[SimConfig],
+                     jobs: Optional[int] = None,
+                     progress: Optional[ProgressCallback] = None,
+                     apply_env_scale: bool = True,
+                     checkpoint_dir: Optional[Path] = None,
+                     ) -> List[RunResult]:
+        """Like :meth:`sweep`, but time-slices each run via checkpoints.
+
+        A config carrying ``checkpoint_every`` runs as a chain of
+        resumable segments: whichever worker is free picks up the next
+        slice from the snapshot the previous slice wrote, so a
+        long-horizon study scatters *seeds x time slices* across the
+        pool instead of pinning each seed to one process for its whole
+        lifetime.  Slicing is bit-identical to straight-through
+        execution (``tests/test_checkpoint.py``), so results, cache
+        entries, and return order are exactly those of :meth:`sweep` on
+        the same grid - configs without ``checkpoint_every`` simply run
+        as a single slice.
+
+        Intermediate snapshots live in ``checkpoint_dir`` (a private
+        temporary directory by default, removed afterwards); each is
+        deleted as soon as its successor slice completes, so disk usage
+        stays at one snapshot per in-flight run.
+        """
+        if apply_env_scale:
+            configs = [self._scaled_config(c) for c in configs]
+        configs = [self._with_telemetry_dir(c) for c in configs]
+        total = len(configs)
+        jobs = default_jobs() if jobs is None else max(1, jobs)
+        results: Dict[int, RunResult] = {}
+        completed = 0
+
+        def report(index: int, result: RunResult, from_cache: bool) -> None:
+            nonlocal completed
+            completed += 1
+            if progress is not None:
+                progress(SweepProgress(
+                    completed=completed, total=total, config=configs[index],
+                    result=result, from_cache=from_cache,
+                ))
+
+        miss_indices: Dict[tuple, List[int]] = {}
+        for i, config in enumerate(configs):
+            group = (config.cache_key(), config.telemetry,
+                     config.telemetry_dir)
+            if group in miss_indices:
+                miss_indices[group].append(i)
+                continue
+            key = config.cache_key()
+            if self._telemetry_satisfied(config):
+                if key in self._memo:
+                    self.cache_hits += 1
+                    results[i] = self._memo[key]
+                    report(i, results[i], from_cache=True)
+                    continue
+                cached = self._load_store(config)
+                if cached is not None:
+                    self._memo[key] = cached
+                    self.cache_hits += 1
+                    results[i] = cached
+                    report(i, cached, from_cache=True)
+                    continue
+            miss_indices[group] = [i]
+
+        def finish(indices: List[int], result: RunResult) -> None:
+            self.simulated += 1
+            self._store_result(configs[indices[0]], result)
+            for j, index in enumerate(indices):
+                if j:
+                    self.cache_hits += 1
+                results[index] = result
+                report(index, result, from_cache=bool(j))
+
+        misses = list(miss_indices.values())
+        own_dir = checkpoint_dir is None
+        directory = (Path(tempfile.mkdtemp(prefix="repro-slices-"))
+                     if own_dir else Path(checkpoint_dir))
+        directory.mkdir(parents=True, exist_ok=True)
+        try:
+            if len(misses) <= 1 or jobs <= 1:
+                # Serial path: still slice through snapshot files so the
+                # single-process study exercises the same save/restore
+                # chain the pool does.
+                for run_number, indices in enumerate(misses):
+                    config = configs[indices[0]]
+                    previous: Optional[str] = None
+                    slice_number = 0
+                    while True:
+                        slice_number += 1
+                        target = directory / self._slice_name(
+                            config, run_number, slice_number)
+                        status, payload = _advance_slice(
+                            config, previous, str(target))
+                        if previous is not None:
+                            Path(previous).unlink(missing_ok=True)
+                        if status == "done":
+                            finish(indices, result_from_dict(payload))
+                            break
+                        previous = payload
+            else:
+                workers = min(jobs, len(misses))
+                slice_counts: Dict[int, int] = {}
+                previous_paths: Dict[int, Optional[str]] = {}
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {}
+                    for run_number, indices in enumerate(misses):
+                        config = configs[indices[0]]
+                        slice_counts[run_number] = 1
+                        previous_paths[run_number] = None
+                        target = directory / self._slice_name(
+                            config, run_number, 1)
+                        future = pool.submit(_advance_slice, config, None,
+                                             str(target))
+                        futures[future] = (run_number, indices)
+                    while futures:
+                        done, _pending = wait(futures,
+                                              return_when=FIRST_COMPLETED)
+                        for future in done:
+                            run_number, indices = futures.pop(future)
+                            config = configs[indices[0]]
+                            status, payload = future.result()
+                            consumed = previous_paths[run_number]
+                            if consumed is not None:
+                                Path(consumed).unlink(missing_ok=True)
+                            if status == "done":
+                                finish(indices, result_from_dict(payload))
+                                continue
+                            previous_paths[run_number] = payload
+                            slice_counts[run_number] += 1
+                            target = directory / self._slice_name(
+                                config, run_number,
+                                slice_counts[run_number])
+                            next_future = pool.submit(
+                                _advance_slice, config, payload,
+                                str(target))
+                            futures[next_future] = (run_number, indices)
+        finally:
+            if own_dir:
+                shutil.rmtree(directory, ignore_errors=True)
+
+        return [results[i] for i in range(total)]
+
+    @staticmethod
+    def _slice_name(config: SimConfig, run_number: int,
+                    slice_number: int) -> str:
+        return (f"{config.cache_digest()}-{run_number:04d}"
+                f"-slice-{slice_number:04d}.ckpt")
 
 
 # ---------------------------------------------------------------------------

@@ -364,8 +364,8 @@ class MemoryController:
         self.stats.reads_from_llc += 1
         if self._ts is not None:
             self._ts.record(
-                self.events.now, EV_ENQUEUE, bank=request.bank, block=block,
-                req_id=request.req_id, detail=READ)
+                self.events.now, EV_ENQUEUE, request.bank, block,
+                request.req_id, 0.0, READ)
         self._maybe_cancel_for_read(request.bank)
         self._try_issue_bank(request.bank)
         return True
@@ -382,8 +382,8 @@ class MemoryController:
         self.stats.writes_from_llc += 1
         if self._ts is not None:
             self._ts.record(
-                self.events.now, EV_ENQUEUE, bank=request.bank, block=block,
-                req_id=request.req_id, detail=WRITE)
+                self.events.now, EV_ENQUEUE, request.bank, block,
+                request.req_id, 0.0, WRITE)
         if not self.drain_mode and len(self.write_q) >= self.drain_high:
             self._enter_drain()
         else:
@@ -402,8 +402,8 @@ class MemoryController:
         self.stats.eager_from_llc += 1
         if self._ts is not None:
             self._ts.record(
-                self.events.now, EV_ENQUEUE, bank=request.bank, block=block,
-                req_id=request.req_id, detail=EAGER)
+                self.events.now, EV_ENQUEUE, request.bank, block,
+                request.req_id, 0.0, EAGER)
         self._try_issue_bank(request.bank)
         return True
 
@@ -438,8 +438,8 @@ class MemoryController:
             ts.drains.value += 1.0
             ts.drain_active.set(1.0)
             ts.record(
-                self.events.now, EV_DRAIN_ENTER,
-                detail=f"write_q={len(self.write_q)}")
+                self.events.now, EV_DRAIN_ENTER, -1, -1, -1, 0.0,
+                f"write_q={len(self.write_q)}")
         for bank in self.banks:
             self._try_issue_bank(bank.index)
 
@@ -451,8 +451,8 @@ class MemoryController:
             if ts is not None:
                 ts.drain_active.set(0.0)
                 ts.record(
-                    self.events.now, EV_DRAIN_EXIT,
-                    detail=f"write_q={len(self.write_q)}")
+                    self.events.now, EV_DRAIN_EXIT, -1, -1, -1, 0.0,
+                    f"write_q={len(self.write_q)}")
             for bank in self.banks:
                 self._try_issue_bank(bank.index)
 
@@ -498,9 +498,9 @@ class MemoryController:
                 ts.cancellations.value += 1.0
             ts.record(
                 now, EV_PAUSE if pausing else EV_CANCEL,
-                bank=bank.index, block=op.request.block,
-                req_id=op.request.req_id, factor=op.request.speed_factor,
-                detail=f"{op.request.kind} progress={fraction:.3f}")
+                bank.index, op.request.block, op.request.req_id,
+                op.request.speed_factor,
+                f"{op.request.kind} progress={fraction:.3f}")
         victim_queue.push_front(op.request)
         # tiny turnaround penalty before the bank can accept the read
         bank.busy_until = now + self.timing.cancel_penalty_ns
@@ -585,9 +585,8 @@ class MemoryController:
         if ts is not None:
             ts.reads_issued.value += 1.0
             ts.record(
-                now, EV_ISSUE, bank=bank.index, block=request.block,
-                req_id=request.req_id,
-                detail="read" if row_hit else "read miss")
+                now, EV_ISSUE, bank.index, request.block, request.req_id,
+                0.0, "read" if row_hit else "read miss")
         op = InFlight(
             request=request, start_ns=now, finish_ns=finish,
             pulse_start_ns=finish, cancellable=False,
@@ -644,8 +643,8 @@ class MemoryController:
             if request.kind == EAGER:
                 ts.eager_issued.value += 1.0
             ts.record(
-                now, EV_ISSUE, bank=bank.index, block=request.block,
-                req_id=request.req_id, factor=factor, detail=request.kind)
+                now, EV_ISSUE, bank.index, request.block, request.req_id,
+                factor, request.kind)
         op = InFlight(
             request=request, start_ns=now, finish_ns=finish,
             pulse_start_ns=pulse_start,
@@ -679,8 +678,8 @@ class MemoryController:
         if ts is not None:
             ts.read_latency.observe(now - request.arrival_ns)
             ts.record(
-                now, EV_COMPLETE, bank=bank.index, block=request.block,
-                req_id=request.req_id, detail=READ)
+                now, EV_COMPLETE, bank.index, request.block,
+                request.req_id, 0.0, READ)
         if request.callback is not None:
             request.callback(now)
         self._try_issue_bank(bank.index)
@@ -706,9 +705,8 @@ class MemoryController:
         ts = self._ts
         if ts is not None:
             ts.record(
-                self.events.now, EV_COMPLETE, bank=bank.index,
-                block=request.block, req_id=request.req_id,
-                factor=request.speed_factor, detail=request.kind)
+                self.events.now, EV_COMPLETE, bank.index, request.block,
+                request.req_id, request.speed_factor, request.kind)
         if self.faults is not None:
             outcome = self.faults.verify_write(
                 request.bank, self.amap.bank_local_block(request.block),
@@ -733,10 +731,9 @@ class MemoryController:
             request.progress_ns = 0.0
             if ts is not None:
                 ts.record(
-                    now, EV_VERIFY_RETRY, bank=bank.index,
-                    block=request.block, req_id=request.req_id,
-                    factor=request.speed_factor,
-                    detail=f"retry={request.retries}")
+                    now, EV_VERIFY_RETRY, bank.index, request.block,
+                    request.req_id, request.speed_factor,
+                    f"retry={request.retries}")
             # The bank just freed up, so the retry starts immediately -
             # no queue round trip, which also means a full write queue
             # can never strand a retry.
@@ -746,15 +743,13 @@ class MemoryController:
             bank.lines_retired += 1
             if ts is not None:
                 ts.record(
-                    now, EV_LINE_RETIRE, bank=bank.index,
-                    block=request.block, req_id=request.req_id,
-                    detail=request.kind)
+                    now, EV_LINE_RETIRE, bank.index, request.block,
+                    request.req_id, 0.0, request.kind)
         elif outcome == WRITE_FATAL:
             if ts is not None:
                 ts.record(
-                    now, EV_UNCORRECTABLE, bank=bank.index,
-                    block=request.block, req_id=request.req_id,
-                    detail=request.kind)
+                    now, EV_UNCORRECTABLE, bank.index, request.block,
+                    request.req_id, 0.0, request.kind)
             if self.on_fatal is not None:
                 self.on_fatal(now)
         # WRITE_CORRECTED needs no controller action: the injector has
@@ -789,9 +784,9 @@ class MemoryController:
             )
             if newly_dead and self._ts is not None:
                 self._ts.record(
-                    self.events.now, EV_CELL_FAIL, bank=request.bank,
-                    block=request.block, req_id=request.req_id,
-                    factor=factor, detail=f"cells={newly_dead}")
+                    self.events.now, EV_CELL_FAIL, request.bank,
+                    request.block, request.req_id, factor,
+                    f"cells={newly_dead}")
 
     # ------------------------------------------------------------------
     # Hot-path twins (REPRO_NO_FASTPATH=1 forces the reference spine; the
@@ -821,8 +816,8 @@ class MemoryController:
         self.stats.reads_from_llc += 1
         ts = self._ts
         if ts is not None:
-            ts.record(now, EV_ENQUEUE, bank=bank, block=block,
-                      req_id=request.req_id, detail=READ)
+            ts.record(now, EV_ENQUEUE, bank, block, request.req_id,
+                      0.0, READ)
         op = self._bank_in_flight[bank]
         if op is None:
             if now >= self._bank_busy_until[bank]:
@@ -852,8 +847,8 @@ class MemoryController:
         self.stats.writes_from_llc += 1
         ts = self._ts
         if ts is not None:
-            ts.record(now, EV_ENQUEUE, bank=bank, block=block,
-                      req_id=request.req_id, detail=WRITE)
+            ts.record(now, EV_ENQUEUE, bank, block, request.req_id,
+                      0.0, WRITE)
         if not self.drain_mode and write_q._size >= self.drain_high:
             self._enter_drain()
         elif (self._bank_in_flight[bank] is None
@@ -881,8 +876,8 @@ class MemoryController:
         self.stats.eager_from_llc += 1
         ts = self._ts
         if ts is not None:
-            ts.record(now, EV_ENQUEUE, bank=bank, block=block,
-                      req_id=request.req_id, detail=EAGER)
+            ts.record(now, EV_ENQUEUE, bank, block, request.req_id,
+                      0.0, EAGER)
         if (self._bank_in_flight[bank] is None
                 and now >= self._bank_busy_until[bank]):
             self._try_issue_bank_fast(bank)
@@ -942,8 +937,8 @@ class MemoryController:
             stats.reads_issued += 1
             if ts is not None:
                 ts.pend_reads += 1
-                ts.record(now, EV_ISSUE, bank=bank_index, block=request.block,
-                          req_id=request.req_id, detail=detail)
+                ts.record(now, EV_ISSUE, bank_index, request.block,
+                          request.req_id, 0.0, detail)
             op = InFlight(
                 request=request, start_ns=now, finish_ns=finish,
                 pulse_start_ns=finish, cancellable=False,
@@ -1011,9 +1006,8 @@ class MemoryController:
                 ts.pend_bank_normal[bank_index] += 1
             if eager:
                 ts.pend_eager += 1
-            ts.record(now, EV_ISSUE, bank=bank_index, block=request.block,
-                      req_id=request.req_id, factor=factor,
-                      detail=request.kind)
+            ts.record(now, EV_ISSUE, bank_index, request.block,
+                      request.req_id, factor, request.kind)
         op = InFlight(
             request=request, start_ns=now, finish_ns=finish,
             pulse_start_ns=pulse_start,
@@ -1053,8 +1047,8 @@ class MemoryController:
         ts = self._ts
         if ts is not None:
             ts.read_latency.observe(latency)
-            ts.record(now, EV_COMPLETE, bank=bank_index, block=request.block,
-                      req_id=request.req_id, detail=READ)
+            ts.record(now, EV_COMPLETE, bank_index, request.block,
+                      request.req_id, 0.0, READ)
         callback = request.callback
         if callback is not None:
             callback(now)
@@ -1081,9 +1075,9 @@ class MemoryController:
             self._record_wear_fast(request, 1.0)
         ts = self._ts
         if ts is not None:
-            ts.record(self.events.now, EV_COMPLETE, bank=bank_index,
-                      block=request.block, req_id=request.req_id,
-                      factor=request.speed_factor, detail=request.kind)
+            ts.record(self.events.now, EV_COMPLETE, bank_index,
+                      request.block, request.req_id,
+                      request.speed_factor, request.kind)
         callback = request.callback
         if callback is not None:
             callback(self.events.now)
@@ -1147,9 +1141,9 @@ class MemoryController:
                 ts.pend_cancellations += 1
             ts.record(
                 now, EV_PAUSE if pausing else EV_CANCEL,
-                bank=bank_index, block=op.request.block,
-                req_id=op.request.req_id, factor=op.request.speed_factor,
-                detail=f"{op.request.kind} progress={fraction:.3f}")
+                bank_index, op.request.block, op.request.req_id,
+                op.request.speed_factor,
+                f"{op.request.kind} progress={fraction:.3f}")
         victim_queue.push_front(op.request)
         # tiny turnaround penalty before the bank can accept the read
         busy = now + self._cancel_penalty

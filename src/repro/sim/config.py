@@ -27,6 +27,12 @@ CACHE_KEY_EXCLUDED = {
                      "input to the simulation",
     "telemetry_trace_capacity": "ring-buffer size only bounds how much "
                                 "trace is kept, never what is simulated",
+    "checkpoint_every": "slicing a run into checkpointed segments is "
+                        "bit-identical to running straight through "
+                        "(tests/test_checkpoint.py), so sliced and "
+                        "unsliced runs share cache entries",
+    "checkpoint_dir": "output location for snapshot files, not an "
+                      "input to the simulation",
 }
 
 
@@ -93,6 +99,15 @@ class SimConfig:
     telemetry: bool = False
     telemetry_dir: Optional[str] = None
     telemetry_trace_capacity: int = 65536
+    # Checkpoint/resume (repro.checkpoint).  ``checkpoint_every`` pauses
+    # the run at an event boundary every N processed LLC accesses;
+    # ``checkpoint_dir`` is where the paused run drops snapshot files
+    # (None = pause without persisting, which callers like the sharded
+    # survival study use to hand snapshots around themselves).  Sliced
+    # runs are bit-identical to straight-through ones, so neither knob
+    # enters cache_key().
+    checkpoint_every: Optional[int] = None
+    checkpoint_dir: Optional[str] = None
     # Fault injection (repro.faults).  None (the default) disables the
     # subsystem entirely; disabled runs are bit-identical to a build
     # without it, and cache_key() only grows the fault term when this is
@@ -104,6 +119,8 @@ class SimConfig:
             raise ValueError("need warmup >= 0 and measure >= 1 accesses")
         if self.num_banks % self.num_ranks:
             raise ValueError("banks must divide evenly across ranks")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1 when set")
 
     @property
     def write_policy(self) -> WritePolicy:

@@ -174,6 +174,10 @@ class System:
         self._measure_end_ns: Optional[float] = None
         self._accesses_at_last_scan = 0
         self._done = False
+        self._paused = False
+        # Next accesses_processed threshold to pause at for checkpointing
+        # (None = never pause); advanced by checkpoint_every per pause.
+        self._pause_at: Optional[int] = config.checkpoint_every
         if self.telemetry.enabled:
             self._register_probes()
 
@@ -296,6 +300,17 @@ class System:
             # same pending-event state as a forced-off run.
             self.core.stop_requested = True
             self.events.stop = True
+        elif self._pause_at is not None and count >= self._pause_at:
+            # Checkpoint boundary: reuse the end-of-run stop machinery so
+            # the core schedules (never inlines or defers) its next gap
+            # event and the drain stops at a clean event boundary.  The
+            # scheduled gap consumes one extra sequence number relative
+            # to an unpaused run - a uniform offset on all later events
+            # that cannot reorder same-time ties, so sliced runs stay
+            # bit-identical to straight-through ones.
+            self._paused = True
+            self.core.stop_requested = True
+            self.events.stop = True
 
     def _on_fault_fatal(self, now: float) -> None:
         """An uncorrectable error: end the run gracefully at ``now``.
@@ -415,6 +430,16 @@ class System:
 
     def run(self, max_events: int = 200_000_000) -> RunResult:
         """Simulate warmup + measurement and return the results."""
+        self.start_run()
+        return self.finish_run(max_events)
+
+    def start_run(self) -> None:
+        """Warm up and arm the event loop (first phase of :meth:`run`).
+
+        Split out so checkpointing callers can alternate
+        :meth:`continue_run` with snapshot captures; plain callers just
+        use :meth:`run`.
+        """
         self._functional_warmup()
         self.core.start()
         if self.telemetry.enabled:
@@ -428,11 +453,24 @@ class System:
         if self.config.warmup_accesses == 0:
             self._end_warmup()
 
+    def continue_run(self, max_events: int = 200_000_000
+                     ) -> Optional[RunResult]:
+        """Drain events until completion or the next checkpoint pause.
+
+        Returns ``None`` when the run paused at a ``checkpoint_every``
+        boundary (capture a snapshot, then call again - or restore the
+        snapshot elsewhere and call there); returns the collected
+        :class:`RunResult` once the run completes.  A restored system
+        resumes here directly: :meth:`start_run` must not be called
+        again, its work is part of the captured state.
+        """
+        self._paused = False
+        self.core.stop_requested = False
         if self.core.fastpath_active:
             self._drain_events_fast(max_events)
         else:
             executed = 0
-            while not self._done:
+            while not (self._done or self._paused):
                 if not self.events.pop_and_run():
                     raise DeadlockError(
                         f"event queue drained at {self.events.now} ns with "
@@ -442,6 +480,14 @@ class System:
                 if executed > max_events:
                     raise DeadlockError(
                         "event budget exhausted; likely livelock")
+        if self._paused and not self._done:
+            every = self.config.checkpoint_every
+            if self._pause_at is not None and every is not None:
+                # Keep the cadence anchored even if consecutive zero-gap
+                # accesses carried the count past the threshold.
+                while self._pause_at <= self.core.accesses_processed:
+                    self._pause_at += every
+            return None
         result = self._collect()
         if self.telemetry.enabled:
             # Close the final (possibly partial) epoch so the wear time
@@ -454,31 +500,69 @@ class System:
                 self.telemetry.write(Path(self.config.telemetry_dir))
         return result
 
+    def finish_run(self, max_events: int = 200_000_000) -> RunResult:
+        """Drain to completion, snapshotting at every checkpoint pause.
+
+        Snapshots are written to ``config.checkpoint_dir`` when set;
+        with ``checkpoint_every`` set but no directory the run still
+        pauses (so callers holding the system can capture it themselves)
+        and immediately continues.
+        """
+        while True:
+            result = self.continue_run(max_events)
+            if result is not None:
+                return result
+            if self.config.checkpoint_dir is not None:
+                # Local import: repro.checkpoint imports this module.
+                from repro.checkpoint.snapshot import (default_snapshot_path,
+                                                       save_snapshot)
+                save_snapshot(
+                    self, default_snapshot_path(self,
+                                                self.config.checkpoint_dir))
+
+    def rearm_after_restore(self) -> None:
+        """Recompute pause bookkeeping after a snapshot restore.
+
+        Called by :func:`repro.checkpoint.snapshot.restore_system`: the
+        restoring config's ``checkpoint_every`` (which may differ from
+        the capturing run's - both sit outside the cache key) decides
+        where the *next* pause lands, counted from the restored access
+        count.
+        """
+        every = self.config.checkpoint_every
+        if every is not None:
+            self._pause_at = self.core.accesses_processed + every
+        else:
+            self._pause_at = None
+        self._paused = False
+
     def _drain_events_fast(self, max_events: int) -> None:
-        """Hot-path twin of the reference drain loop in :meth:`run`.
+        """Hot-path twin of the reference drain loop in :meth:`continue_run`.
 
         Hands the whole budget to :meth:`EventQueue.run_fast`, which pops
         (and resolves deferrals) with every per-event load hoisted out of
         the loop; ``_on_access`` / ``_on_fault_fatal`` raise the queue's
         cooperative ``stop`` flag to end the drain exactly where the
-        reference loop's ``self._done`` check would.  The budget check
-        mirrors the reference ordering: the event that exhausts the budget
-        raises even when it also completed the run.
+        reference loop's ``self._done`` / ``self._paused`` check would.
+        The budget check mirrors the reference ordering: the event that
+        exhausts the budget raises even when it also completed the run.
         """
         events = self.events
         events.stop = False
         executed = events.run_fast(max_events + 1)
         if executed > max_events:
             raise DeadlockError("event budget exhausted; likely livelock")
-        if not self._done:
+        if not (self._done or self._paused):
             raise DeadlockError(
                 f"event queue drained at {events.now} ns with "
                 f"{self.core.accesses_processed} accesses processed"
             )
         if events.deferred_time is not None:
             # A deferral can survive the drain only when a fatal fault in
-            # another event's callback stopped the run first; flush it so
-            # the queue ends in the same pending state as a reference run.
+            # another event's callback stopped the run first (never at a
+            # checkpoint pause, which the core only raises from a frame
+            # with no deferral outstanding); flush it so the queue ends
+            # in the same pending state as a reference run.
             events.flush_deferred()
 
     # ------------------------------------------------------------------

@@ -25,14 +25,16 @@ from repro.telemetry.tracer import (EV_CANCEL, EV_CELL_FAIL, EV_COMPLETE,
                                     EV_LINE_RETIRE, EV_PAUSE, EV_PHASE,
                                     EV_QUOTA_TRIP, EV_UNCORRECTABLE,
                                     EV_VERIFY_RETRY, EVENT_KINDS, EventTracer,
-                                    TraceEvent, chrome_trace)
+                                    TraceEvent, chrome_trace,
+                                    chrome_trace_json)
 
 __all__ = [
     "Telemetry", "NullTelemetry", "NULL_TELEMETRY", "bundle_is_complete",
     "MANIFEST_NAME", "TELEMETRY_SCHEMA_VERSION",
     "MetricRegistry", "Counter", "Gauge", "Histogram",
     "READ_LATENCY_BUCKETS_NS", "bank_metric_name",
-    "EventTracer", "TraceEvent", "chrome_trace", "EVENT_KINDS",
+    "EventTracer", "TraceEvent", "chrome_trace", "chrome_trace_json",
+    "EVENT_KINDS",
     "EV_ENQUEUE", "EV_ISSUE", "EV_COMPLETE", "EV_CANCEL", "EV_PAUSE",
     "EV_DRAIN_ENTER", "EV_DRAIN_EXIT", "EV_QUOTA_TRIP", "EV_EAGER_DEMOTE",
     "EV_PHASE", "EV_CELL_FAIL", "EV_VERIFY_RETRY", "EV_LINE_RETIRE",

@@ -36,7 +36,7 @@ from typing import (Any, Callable, ClassVar, Dict, List, NoReturn, Optional,
 
 from repro.telemetry.heatmap import WearHeatmap
 from repro.telemetry.metrics import MetricRegistry
-from repro.telemetry.tracer import EventTracer, chrome_trace
+from repro.telemetry.tracer import EventTracer, chrome_trace_json
 
 MANIFEST_NAME = "manifest.json"
 TELEMETRY_SCHEMA_VERSION = 1
@@ -152,9 +152,8 @@ class Telemetry:
         written.append(jsonl_path)
 
         chrome_path = out_dir / "trace.chrome.json"
-        _atomic_write_text(chrome_path, json.dumps(
-            chrome_trace(self.tracer, self.metrics),
-            separators=(",", ":")))
+        _atomic_write_text(chrome_path,
+                           chrome_trace_json(self.tracer, self.metrics))
         written.append(chrome_path)
 
         manifest_path = out_dir / MANIFEST_NAME

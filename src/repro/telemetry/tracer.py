@@ -173,32 +173,46 @@ def _counter_track_name(series_name: str) -> bool:
     return not series_name.startswith("hist.")
 
 
-def chrome_trace(tracer: EventTracer,
-                 metrics: Optional[MetricRegistry] = None,
-                 process_name: str = "repro-sim") -> Dict[str, Any]:
-    """Build a Chrome ``trace_event`` JSON object from a tracer (and
-    optionally a sampled registry, emitted as counter tracks).
+def chrome_trace_json(tracer: EventTracer,
+                      metrics: Optional[MetricRegistry] = None,
+                      process_name: str = "repro-sim") -> str:
+    """Serialise the Chrome ``trace_event`` document straight to compact
+    JSON text (what ``Telemetry.write`` puts in ``trace.chrome.json``).
 
     Layout: one fake process, one thread ("track") per bank plus track 0
     for bank-less events.  Timestamps are microseconds as the format
     requires; simulated ns divide by 1e3 exactly, no host clock involved.
+    Issue/complete pairs become duration ("X") slices, point events
+    instants ("i"), sampled metric series counter ("C") tracks.
+
+    Emits f-string fragments with memoised string encoding instead of
+    building one dict per ring record for a generic ``json.dumps`` pass:
+    at full ring capacity the dict-then-dumps route dominated bundle
+    write time and pushed the enabled-telemetry overhead past its gate.
+    Numbers go through ``repr``, which matches ``json.dumps`` exactly
+    for the ints and finite floats that reach this point.
     """
     records = tracer.raw()
-    trace_events: List[Dict[str, Any]] = [{
-        "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
-        "args": {"name": process_name},
-    }]
+    encoded: Dict[str, str] = {}
+
+    def enc(text: str) -> str:
+        cached = encoded.get(text)
+        if cached is None:
+            cached = encoded[text] = json.dumps(text)
+        return cached
+
+    parts: List[str] = [
+        f'{{"name":"process_name","ph":"M","pid":1,"tid":0,'
+        f'"args":{{"name":{enc(process_name)}}}}}'
+    ]
 
     banks = sorted({record[2] for record in records if record[2] >= 0})
     for bank in banks:
-        trace_events.append({
-            "name": "thread_name", "ph": "M", "pid": 1, "tid": bank + 1,
-            "args": {"name": f"bank {bank}"},
-        })
-    trace_events.append({
-        "name": "thread_name", "ph": "M", "pid": 1, "tid": 0,
-        "args": {"name": "system"},
-    })
+        parts.append(
+            f'{{"name":"thread_name","ph":"M","pid":1,"tid":{bank + 1},'
+            f'"args":{{"name":"bank {bank}"}}}}')
+    parts.append('{"name":"thread_name","ph":"M","pid":1,"tid":0,'
+                 '"args":{"name":"system"}}')
 
     # Pair issue -> complete/cancel per (bank, req_id) into "X" slices.
     open_issues: Dict[Tuple[int, int], _Record] = {}
@@ -217,44 +231,55 @@ def chrome_trace(tracer: EventTracer,
                     name = f"{name} x{open_factor:g}"
                 if kind == EV_CANCEL:
                     name = f"{name} (cancelled)"
-                trace_events.append({
-                    "name": name, "ph": "X", "pid": 1, "tid": tid,
-                    "ts": open_t / 1e3,
-                    "dur": (t_ns - open_t) / 1e3,
-                    "args": {"block": open_block, "req_id": req_id,
-                             "factor": open_factor,
-                             "outcome": kind},
-                })
+                parts.append(
+                    f'{{"name":{enc(name)},"ph":"X","pid":1,"tid":{tid},'
+                    f'"ts":{open_t / 1e3!r},"dur":{(t_ns - open_t) / 1e3!r},'
+                    f'"args":{{"block":{open_block},"req_id":{req_id},'
+                    f'"factor":{open_factor!r},"outcome":{enc(kind)}}}}}')
                 continue
             # Closer whose opener was evicted from the ring: keep it as
             # an instant so the record is not lost entirely.
-        trace_events.append({
-            "name": f"{kind}{(' ' + detail) if detail else ''}",
-            "ph": "i", "pid": 1, "tid": tid, "ts": t_ns / 1e3, "s": "t",
-            "args": {"block": block, "req_id": req_id, "factor": factor},
-        })
+        name = f"{kind} {detail}" if detail else kind
+        parts.append(
+            f'{{"name":{enc(name)},"ph":"i","pid":1,"tid":{tid},'
+            f'"ts":{t_ns / 1e3!r},"s":"t",'
+            f'"args":{{"block":{block},"req_id":{req_id},'
+            f'"factor":{factor!r}}}}}')
 
     # Issues still open at the end of the ring: emit as instants.
     for opener in open_issues.values():
         t_ns, _, bank, block, req_id, factor, detail = opener
         tid = bank + 1 if bank >= 0 else 0
-        trace_events.append({
-            "name": f"issue {detail}".rstrip(),
-            "ph": "i", "pid": 1, "tid": tid, "ts": t_ns / 1e3,
-            "s": "t",
-            "args": {"block": block, "req_id": req_id, "factor": factor},
-        })
+        parts.append(
+            f'{{"name":{enc(f"issue {detail}".rstrip())},"ph":"i","pid":1,'
+            f'"tid":{tid},"ts":{t_ns / 1e3!r},"s":"t",'
+            f'"args":{{"block":{block},"req_id":{req_id},'
+            f'"factor":{factor!r}}}}}')
 
     if metrics is not None:
         for name, column in sorted(metrics.series.items()):
             if not _counter_track_name(name):
                 continue
+            name_json = enc(name)
             for t_ns, value in zip(metrics.sample_times_ns, column):
                 if value is None:
                     continue
-                trace_events.append({
-                    "name": name, "ph": "C", "pid": 1, "tid": 0,
-                    "ts": t_ns / 1e3, "args": {"value": value},
-                })
+                parts.append(
+                    f'{{"name":{name_json},"ph":"C","pid":1,"tid":0,'
+                    f'"ts":{t_ns / 1e3!r},"args":{{"value":{value!r}}}}}')
 
-    return {"traceEvents": trace_events, "displayTimeUnit": "ns"}
+    return ('{"traceEvents":[' + ",".join(parts)
+            + '],"displayTimeUnit":"ns"}')
+
+
+def chrome_trace(tracer: EventTracer,
+                 metrics: Optional[MetricRegistry] = None,
+                 process_name: str = "repro-sim") -> Dict[str, Any]:
+    """The Chrome trace document as a Python object.
+
+    Thin wrapper parsing :func:`chrome_trace_json`, which is the actual
+    builder, so the dict and text exports cannot drift apart.
+    """
+    document: Dict[str, Any] = json.loads(
+        chrome_trace_json(tracer, metrics, process_name))
+    return document

@@ -73,21 +73,49 @@ class WorkloadProfile:
 
         if fastpath_enabled():
             return _FastTrace(rng, patterns, cumulative, mean_gap)
+        return _ReferenceTrace(rng, patterns, cumulative, mean_gap)
 
-        def generate() -> Iterator[TraceRecord]:
-            while True:
-                r = rng.random()
-                for cum, (_, pattern) in zip(cumulative, patterns):
-                    if r <= cum:
-                        chosen = pattern
-                        break
-                else:
-                    chosen = patterns[-1][1]
-                block, is_write, dependent = chosen.next(rng)
-                gap = int(rng.expovariate(1.0 / mean_gap))
-                yield TraceRecord(gap, block, is_write, dependent)
 
-        return generate()
+class _ReferenceTrace:
+    """The readable reference trace, as a class instead of a generator.
+
+    One draw sequence per record - pattern selection via ``rng.random()``
+    against the cumulative weights, the pattern's own draws, then the
+    ``rng.expovariate(1.0 / mean_gap)`` gap - exactly as the hot-path
+    twin below replays it, so the two are bit-identical.
+
+    A class (rather than the closure generator this used to be) because
+    generator frames cannot be checkpointed: all mutable draw state
+    lives in ``rng`` and on the pattern objects, both exposed as
+    attributes for :mod:`repro.checkpoint` to capture and restore.
+    Deliberately has *no* ``fast_next``/``raw``/``raw_parts``
+    attributes, so the core and the functional-warmup loop take their
+    plain-iterator branches just as they did with the generator.
+    """
+
+    def __init__(self, rng: random.Random, patterns: WeightedPatterns,
+                 cumulative: List[float], mean_gap: float) -> None:
+        self.rng = rng
+        self.patterns = [pattern for _, pattern in patterns]
+        self._weighted = patterns
+        self._cumulative = cumulative
+        self._mean_gap = mean_gap
+
+    def __iter__(self) -> "Iterator[TraceRecord]":
+        return self
+
+    def __next__(self) -> TraceRecord:
+        rng = self.rng
+        r = rng.random()
+        for cum, (_, pattern) in zip(self._cumulative, self._weighted):
+            if r <= cum:
+                chosen = pattern
+                break
+        else:
+            chosen = self._weighted[-1][1]
+        block, is_write, dependent = chosen.next(rng)
+        gap = int(rng.expovariate(1.0 / self._mean_gap))
+        return TraceRecord(gap, block, is_write, dependent)
 
 
 class _FastTrace:
@@ -124,9 +152,16 @@ class _FastTrace:
     hot loop calls it directly, skipping the ``builtins.next`` and
     ``__next__`` wrapper frames the iterator protocol would add per
     record.
+
+    ``rng`` and ``patterns`` exist purely for :mod:`repro.checkpoint`:
+    every draw goes through the shared ``rng`` and every cursor lives on
+    the pattern objects (the compiled closures read and write them by
+    attribute), so restoring those two restores the whole trace - the
+    generator frames themselves hold no state between yields.
     """
 
-    __slots__ = ("raw", "raw_parts", "fast_next", "_records", "_next")
+    __slots__ = ("raw", "raw_parts", "fast_next", "rng", "patterns",
+                 "_records", "_next")
 
     def __init__(self, rng: random.Random, patterns: WeightedPatterns,
                  cumulative: List[float], mean_gap: float) -> None:
@@ -137,6 +172,8 @@ class _FastTrace:
         fallback = compiled[-1][1]
         rnd = rng.random
         lambd = 1.0 / mean_gap
+        self.rng = rng
+        self.patterns = [pattern for _, pattern in patterns]
         self.raw = self._raw_gen(rnd, compiled, fallback)
         self.raw_parts = (rnd, compiled, fallback)
         self._records = self._record_gen(rnd, compiled, fallback, lambd)

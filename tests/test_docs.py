@@ -11,7 +11,7 @@ REQUIRED_DOCS = [
     "README.md", "DESIGN.md", "EXPERIMENTS.md",
     "docs/architecture.md", "docs/mechanisms.md", "docs/workloads.md",
     "docs/extending.md", "docs/observability.md", "docs/serving.md",
-    "docs/storage.md",
+    "docs/storage.md", "docs/checkpointing.md",
 ]
 
 

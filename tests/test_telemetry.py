@@ -30,6 +30,7 @@ from repro.telemetry import (
     WearHeatmap,
     bundle_is_complete,
     chrome_trace,
+    chrome_trace_json,
 )
 
 TINY = dict(warmup_accesses=2000, measure_accesses=3000,
@@ -192,6 +193,30 @@ class TestChromeTrace:
         doc = json.loads(text)
         assert set(doc) == {"traceEvents", "displayTimeUnit"}
         assert {e["ph"] for e in doc["traceEvents"]} <= {"M", "i", "X", "C"}
+
+    def test_text_export_is_canonical_compact_json(self):
+        """The hand-rolled serialiser must emit exactly what a generic
+        ``json.dumps`` pass over its parsed document would - any float
+        formatting or escaping drift shows up as a byte diff here."""
+        tracer = EventTracer(capacity=8)
+        tracer.record(100.0, EV_ISSUE, bank=1, req_id=5, factor=3.0,
+                      detail="write")
+        tracer.record(433.25, EV_COMPLETE, bank=1, req_id=5, factor=3.0)
+        tracer.record(500.0, EV_ISSUE, bank=0, req_id=6, detail="read")
+        tracer.record(600.0, EV_CANCEL, bank=0, req_id=6)
+        tracer.record(610.0, EV_COMPLETE, bank=2, req_id=99)  # orphan
+        tracer.record(700.0, EV_QUOTA_TRIP, bank=3,
+                      detail='exceed="1.2"\n')  # needs escaping
+        tracer.record(800.0, EV_ISSUE, bank=2, req_id=7,
+                      detail="write")  # still open at ring end
+        reg = MetricRegistry()
+        reg.counter("writes").inc(4.0)
+        reg.sample(500_000.0)
+        reg.counter("late").inc(1.0)
+        reg.sample(1_000_000.0)  # "writes" column now has a None hole
+        text = chrome_trace_json(tracer, reg)
+        assert text == json.dumps(json.loads(text), separators=(",", ":"))
+        assert chrome_trace(tracer, reg) == json.loads(text)
 
 
 # --------------------------------------------------------------------------
